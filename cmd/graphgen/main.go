@@ -1,0 +1,82 @@
+// Command graphgen generates the synthetic datasets used throughout the
+// repository (the DBLP-like bibliographic network and the LiveJournal-like
+// social network) and writes them to disk as edge-list or binary graph files.
+//
+// Usage:
+//
+//	graphgen -kind dblp -papers 50000 -authors 35000 -venues 800 -out dblp.txt
+//	graphgen -kind social -nodes 60000 -deg 8 -format binary -out lj.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastppv/internal/gen"
+	"fastppv/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+
+	var (
+		kind    = flag.String("kind", "dblp", "dataset kind: dblp (bibliographic) or social")
+		out     = flag.String("out", "", "output file (required)")
+		format  = flag.String("format", "edgelist", "output format: edgelist or binary")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		papers  = flag.Int("papers", 50000, "dblp: number of papers")
+		authors = flag.Int("authors", 35000, "dblp: number of authors")
+		venues  = flag.Int("venues", 800, "dblp: number of venues")
+		year    = flag.Int("snapshot", 0, "dblp: only keep papers up to this year (0 = all)")
+		nodes   = flag.Int("nodes", 60000, "social: number of users")
+		deg     = flag.Float64("deg", 8, "social: mean out-degree")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *kind {
+	case "dblp":
+		cfg := gen.DefaultBibliographicConfig()
+		cfg.Papers, cfg.Authors, cfg.Venues, cfg.Seed = *papers, *authors, *venues, *seed
+		bib, berr := gen.NewBibliographic(cfg)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		g = bib.Graph
+		if *year != 0 {
+			g = bib.Snapshot(*year)
+		}
+	case "social":
+		cfg := gen.DefaultSocialConfig()
+		cfg.Nodes, cfg.OutDegreeMean, cfg.Seed = *nodes, *deg, *seed
+		g, err = gen.SocialGraph(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -kind %q (want dblp or social)", *kind)
+	}
+
+	switch *format {
+	case "edgelist":
+		err = graph.SaveEdgeListFile(*out, g)
+	case "binary":
+		err = graph.SaveBinaryFile(*out, g)
+	default:
+		log.Fatalf("unknown -format %q (want edgelist or binary)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, g.Stats())
+}

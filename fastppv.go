@@ -1,0 +1,267 @@
+// Package fastppv is the public API of the FastPPV reproduction: incremental
+// and accuracy-aware Personalized PageRank through scheduled approximation
+// (Zhu, Fang, Chang, Ying — PVLDB 6(6), 2013).
+//
+// The package exposes the building blocks a downstream application needs:
+//
+//   - building or loading a graph (Builder, LoadEdgeList, LoadBinary),
+//   - creating an Engine and precomputing its hub index (New, Engine.Precompute),
+//   - answering online queries with a configurable accuracy/time trade-off
+//     (Engine.Query, Engine.NewQuery with per-iteration stepping),
+//   - ground truth and accuracy metrics for evaluation (ExactPPV, Evaluate),
+//   - maintaining the index as the graph changes (Engine.ApplyUpdate).
+//
+// The heavy lifting lives in the internal packages; the exported identifiers
+// here are thin aliases and wrappers so that application code only ever
+// imports "fastppv".
+//
+// A minimal end-to-end use:
+//
+//	b := fastppv.NewBuilder(true)
+//	// ... add nodes and edges ...
+//	g := b.Finalize()
+//	engine, err := fastppv.New(g, fastppv.Options{NumHubs: 1000})
+//	if err != nil { ... }
+//	if err := engine.Precompute(); err != nil { ... }
+//	res, err := engine.Query(q, fastppv.StopCondition{MaxIterations: 2})
+//	for _, e := range res.TopK(10) {
+//		fmt.Println(e.Node, e.Score)
+//	}
+package fastppv
+
+import (
+	"io"
+
+	"fastppv/internal/core"
+	"fastppv/internal/graph"
+	"fastppv/internal/metrics"
+	"fastppv/internal/pagerank"
+	"fastppv/internal/ppvindex"
+	"fastppv/internal/sparse"
+)
+
+// Graph types.
+type (
+	// NodeID identifies a node: a dense index in [0, Graph.NumNodes()).
+	NodeID = graph.NodeID
+	// Edge is a directed edge (or one orientation of an undirected edge).
+	Edge = graph.Edge
+	// Graph is an immutable graph in CSR layout; build one with a Builder or
+	// the Load functions.
+	Graph = graph.Graph
+	// Builder accumulates nodes and edges and produces a Graph.
+	Builder = graph.Builder
+)
+
+// Engine types.
+type (
+	// Options configure an Engine (teleport probability, hub count and
+	// policy, pruning thresholds). The zero value reproduces the paper's
+	// defaults with an automatically chosen hub count.
+	Options = core.Options
+	// Engine is a FastPPV instance: offline Precompute, then online Query.
+	Engine = core.Engine
+	// StopCondition controls when online query processing stops (number of
+	// iterations eta, target L1 error, or time limit).
+	StopCondition = core.StopCondition
+	// Result is the outcome of a query: the estimated PPV, the accuracy-aware
+	// L1 error bound, and per-iteration statistics.
+	Result = core.Result
+	// QueryState is an in-progress incremental query; Step applies one more
+	// PPV increment.
+	QueryState = core.QueryState
+	// IterationStat describes one online iteration.
+	IterationStat = core.IterationStat
+	// OfflineStats summarizes offline precomputation cost.
+	OfflineStats = core.OfflineStats
+	// GraphUpdate is a batch of edge insertions/deletions for ApplyUpdate.
+	GraphUpdate = core.GraphUpdate
+	// UpdateStats reports the cost of an incremental index update.
+	UpdateStats = core.UpdateStats
+)
+
+// Vector types.
+type (
+	// Vector is a sparse score vector indexed by node.
+	Vector = sparse.Vector
+	// Entry is a (node, score) pair of a ranked result.
+	Entry = sparse.Entry
+)
+
+// AccuracyReport bundles the four accuracy metrics of the paper's evaluation.
+type AccuracyReport = metrics.Report
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode = graph.InvalidNode
+
+// DefaultAlpha is the teleporting probability used throughout the paper.
+const DefaultAlpha = pagerank.DefaultAlpha
+
+// NewBuilder returns a Builder for a directed (true) or undirected (false)
+// graph.
+func NewBuilder(directed bool) *Builder { return graph.NewBuilder(directed) }
+
+// FromEdges builds a graph directly from an edge list over numNodes nodes.
+func FromEdges(numNodes int, directed bool, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(numNodes, directed, edges)
+}
+
+// LoadEdgeList parses a text edge-list (optionally with a "nodes <n>
+// directed|undirected" header).
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// LoadEdgeListFile reads a text edge-list file from disk.
+func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// SaveEdgeListFile writes a graph as a text edge-list file.
+func SaveEdgeListFile(path string, g *Graph) error { return graph.SaveEdgeListFile(path, g) }
+
+// LoadBinaryFile reads a graph in the compact binary format.
+func LoadBinaryFile(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
+// SaveBinaryFile writes a graph in the compact binary format.
+func SaveBinaryFile(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// New creates a FastPPV engine over g with an in-memory PPV index. Call
+// Precompute before Query.
+func New(g *Graph, opts Options) (*Engine, error) { return core.NewEngine(g, nil, opts) }
+
+// NewWithDiskIndex creates a FastPPV engine whose hub prime PPVs are written
+// to (and later read from) the index file at path, for deployments where the
+// index should not live in memory. The returned close function releases the
+// file handles and must be called when the engine is no longer needed.
+func NewWithDiskIndex(g *Graph, opts Options, path string) (*Engine, func() error, error) {
+	store, err := newDiskStore(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(g, store, opts)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return engine, store.Close, nil
+}
+
+// DefaultStop returns the paper's default stopping condition (eta = 2).
+func DefaultStop() StopCondition { return core.DefaultStop() }
+
+// ExactPPV computes the exact Personalized PageRank Vector of q on g by power
+// iteration. It is the ground truth oracle; use Engine.Query for fast
+// approximate answers.
+func ExactPPV(g *Graph, q NodeID, alpha float64) (Vector, error) {
+	return pagerank.ExactPPV(g, q, pagerank.Options{Alpha: alpha})
+}
+
+// GlobalPageRank computes the global (non-personalized) PageRank of every
+// node; it is the popularity signal used by hub selection.
+func GlobalPageRank(g *Graph, alpha float64) ([]float64, error) {
+	return pagerank.Global(g, pagerank.Options{Alpha: alpha})
+}
+
+// Evaluate scores an approximate PPV against the exact one at ranking depth
+// k, returning the paper's four accuracy metrics.
+func Evaluate(exact, approx Vector, k int) AccuracyReport {
+	return metrics.Evaluate(exact, approx, k)
+}
+
+// diskStore adapts the disk index writer/reader pair to the engine's
+// IndexStore interface: Put streams to the writer and Get reopens the index
+// lazily after the first read.
+type diskStore struct {
+	path   string
+	writer *ppvindex.DiskWriter
+	reader *ppvindex.DiskIndex
+}
+
+func newDiskStore(path string) (*diskStore, error) {
+	w, err := ppvindex.CreateDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	return &diskStore{path: path, writer: w}, nil
+}
+
+func (s *diskStore) Put(h NodeID, ppv Vector) error {
+	if s.writer == nil {
+		return errReadOnlyIndex
+	}
+	return s.writer.Put(h, ppv)
+}
+
+func (s *diskStore) Get(h NodeID) (Vector, bool, error) {
+	if err := s.ensureReader(); err != nil {
+		return nil, false, err
+	}
+	return s.reader.Get(h)
+}
+
+func (s *diskStore) Has(h NodeID) bool {
+	if err := s.ensureReader(); err != nil {
+		return false
+	}
+	return s.reader.Has(h)
+}
+
+func (s *diskStore) Hubs() []NodeID {
+	if err := s.ensureReader(); err != nil {
+		return nil
+	}
+	return s.reader.Hubs()
+}
+
+func (s *diskStore) Len() int {
+	if err := s.ensureReader(); err != nil {
+		return 0
+	}
+	return s.reader.Len()
+}
+
+func (s *diskStore) SizeBytes() int64 {
+	if err := s.ensureReader(); err != nil {
+		return 0
+	}
+	return s.reader.SizeBytes()
+}
+
+// ensureReader finalizes the writer (if still open) and opens the index for
+// reading.
+func (s *diskStore) ensureReader() error {
+	if s.reader != nil {
+		return nil
+	}
+	if s.writer != nil {
+		if err := s.writer.Close(); err != nil {
+			return err
+		}
+		s.writer = nil
+	}
+	r, err := ppvindex.OpenDisk(s.path)
+	if err != nil {
+		return err
+	}
+	s.reader = r
+	return nil
+}
+
+// Close releases the underlying file handles.
+func (s *diskStore) Close() error {
+	if s.writer != nil {
+		if err := s.writer.Close(); err != nil {
+			return err
+		}
+		s.writer = nil
+	}
+	if s.reader != nil {
+		err := s.reader.Close()
+		s.reader = nil
+		return err
+	}
+	return nil
+}
+
+var errReadOnlyIndex = errReadOnly{}
+
+type errReadOnly struct{}
+
+func (errReadOnly) Error() string { return "fastppv: disk index already finalized for reading" }

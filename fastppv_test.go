@@ -1,0 +1,214 @@
+package fastppv
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildTestGraph creates a small directed graph through the public API.
+func buildTestGraph(t testing.TB, nodes, deg int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(true)
+	b.EnsureNodes(nodes)
+	for u := 0; u < nodes; u++ {
+		for d := 0; d < deg; d++ {
+			v := NodeID(rng.Intn(nodes))
+			if v != NodeID(u) {
+				b.MustAddEdge(NodeID(u), v)
+			}
+		}
+	}
+	return b.Finalize()
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := buildTestGraph(t, 400, 4, 1)
+	engine, err := New(g, Options{NumHubs: 40})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	off := engine.OfflineStats()
+	if off.Hubs != 40 || off.IndexBytes <= 0 {
+		t.Errorf("OfflineStats = %+v", off)
+	}
+
+	q := NodeID(7)
+	res, err := engine.Query(q, DefaultStop())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Iterations > 2 {
+		t.Errorf("DefaultStop ran %d iterations, want at most 2", res.Iterations)
+	}
+	top := res.TopK(10)
+	if len(top) == 0 || top[0].Node != q {
+		t.Errorf("the query node should rank first, got %v", top)
+	}
+
+	exact, err := ExactPPV(g, q, DefaultAlpha)
+	if err != nil {
+		t.Fatalf("ExactPPV: %v", err)
+	}
+	report := Evaluate(exact, res.Estimate, 10)
+	if report.Precision < 0.5 {
+		t.Errorf("precision %.3f unexpectedly low for eta=2 on a small graph", report.Precision)
+	}
+	// The accuracy-aware bound is an upper bound on the true L1 error.
+	if trueErr := exact.L1Distance(res.Estimate); trueErr > res.L1ErrorBound+1e-9 {
+		t.Errorf("true L1 error %.4f exceeds the reported bound %.4f", trueErr, res.L1ErrorBound)
+	}
+}
+
+func TestPublicAPIIncrementalQuery(t *testing.T) {
+	g := buildTestGraph(t, 300, 3, 2)
+	engine, err := New(g, Options{NumHubs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := engine.NewQuery(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := qs.L1ErrorBound()
+	for i := 0; i < 4 && !qs.Exhausted(); i++ {
+		st := qs.Step()
+		if st.L1ErrorBound > prev+1e-12 {
+			t.Errorf("step %d increased the error bound", i+1)
+		}
+		prev = st.L1ErrorBound
+	}
+}
+
+func TestPublicAPITimeLimitStop(t *testing.T) {
+	g := buildTestGraph(t, 500, 5, 3)
+	engine, err := New(g, Options{NumHubs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Query(1, StopCondition{MaxIterations: -1, TimeLimit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 1 {
+		t.Errorf("a one-nanosecond budget should stop almost immediately, ran %d iterations", res.Iterations)
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := buildTestGraph(t, 50, 3, 4)
+	dir := t.TempDir()
+
+	edgePath := filepath.Join(dir, "g.txt")
+	if err := SaveEdgeListFile(edgePath, g); err != nil {
+		t.Fatalf("SaveEdgeListFile: %v", err)
+	}
+	loaded, err := LoadEdgeListFile(edgePath)
+	if err != nil {
+		t.Fatalf("LoadEdgeListFile: %v", err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Errorf("edge-list round trip changed the graph: %v vs %v", loaded.Stats(), g.Stats())
+	}
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveBinaryFile(binPath, g); err != nil {
+		t.Fatalf("SaveBinaryFile: %v", err)
+	}
+	loadedBin, err := LoadBinaryFile(binPath)
+	if err != nil {
+		t.Fatalf("LoadBinaryFile: %v", err)
+	}
+	if loadedBin.NumEdges() != g.NumEdges() {
+		t.Error("binary round trip changed the graph")
+	}
+
+	if _, err := FromEdges(3, true, []Edge{{From: 0, To: 1}, {From: 1, To: 2}}); err != nil {
+		t.Errorf("FromEdges: %v", err)
+	}
+	pr, err := GlobalPageRank(g, DefaultAlpha)
+	if err != nil || len(pr) != g.NumNodes() {
+		t.Errorf("GlobalPageRank: %v (len %d)", err, len(pr))
+	}
+}
+
+func TestPublicAPIDiskIndex(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 5)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+
+	diskEngine, closeIndex, err := NewWithDiskIndex(g, Options{NumHubs: 30}, path)
+	if err != nil {
+		t.Fatalf("NewWithDiskIndex: %v", err)
+	}
+	defer closeIndex()
+	if err := diskEngine.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+
+	memEngine, err := New(g, Options{NumHubs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := memEngine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+
+	for q := NodeID(0); q < 10; q++ {
+		a, err := diskEngine.Query(q, DefaultStop())
+		if err != nil {
+			t.Fatalf("disk query: %v", err)
+		}
+		b, err := memEngine.Query(q, DefaultStop())
+		if err != nil {
+			t.Fatalf("mem query: %v", err)
+		}
+		if d := a.Estimate.L1Distance(b.Estimate); d > 1e-9 {
+			t.Errorf("q=%d: disk-index estimate differs from the in-memory one by %v", q, d)
+		}
+	}
+	if err := closeIndex(); err != nil {
+		t.Errorf("closing the disk index: %v", err)
+	}
+}
+
+func TestPublicAPIDynamicUpdate(t *testing.T) {
+	g := buildTestGraph(t, 200, 3, 6)
+	engine, err := New(g, Options{NumHubs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := engine.Query(0, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NodeID(150)
+	stats, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: 0, To: target}}})
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if stats.AffectedHubs+stats.UnaffectedHubs != engine.Hubs().Size() {
+		t.Errorf("update stats do not cover all hubs: %+v", stats)
+	}
+	after, err := engine.Query(0, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate.Get(target) <= before.Estimate.Get(target) {
+		t.Errorf("adding the edge 0->%d should raise its score: %.6f -> %.6f",
+			target, before.Estimate.Get(target), after.Estimate.Get(target))
+	}
+}

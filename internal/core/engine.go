@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/hub"
+	"fastppv/internal/pagerank"
+	"fastppv/internal/ppvindex"
+	"fastppv/internal/prime"
+	"fastppv/internal/sparse"
+)
+
+// IndexStore is the combination of read and write access the engine needs for
+// its PPV index. Both ppvindex.MemIndex and the pair DiskWriter/DiskIndex
+// satisfy the relevant halves; NewEngine defaults to an in-memory index.
+type IndexStore interface {
+	ppvindex.Index
+	ppvindex.Writer
+}
+
+// OfflineStats summarizes one offline precomputation run; the offline cost
+// experiments (Fig. 7b/c, 9, 11, 15) read these counters.
+type OfflineStats struct {
+	// Hubs is |H|, the number of hubs selected and indexed.
+	Hubs int
+	// HubSelection is the wall time of hub scoring and selection (including
+	// global PageRank when the policy needs it).
+	HubSelection time.Duration
+	// PrimePPV is the wall time of computing and storing all hub prime PPVs.
+	PrimePPV time.Duration
+	// Total is HubSelection + PrimePPV.
+	Total time.Duration
+	// IndexBytes is the size of the resulting PPV index.
+	IndexBytes int64
+	// IndexEntries is the total number of stored (node, score) pairs.
+	IndexEntries int64
+	// Pushes is the total expansion work across all prime PPVs.
+	Pushes int64
+	// ClippedEntries counts entries dropped by the storage clip.
+	ClippedEntries int64
+}
+
+// Engine is a FastPPV instance bound to one graph: it owns the hub set and
+// the PPV index produced by Precompute and answers online queries against
+// them. An Engine is safe for concurrent queries after Precompute has
+// completed.
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	hubs  *hub.Set
+	index IndexStore
+
+	offline    OfflineStats
+	precomuted bool
+}
+
+// NewEngine creates an engine over g with the given options, storing prime
+// PPVs in the provided index (a fresh in-memory index when index is nil).
+// Call Precompute before Query.
+func NewEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if index == nil {
+		index = ppvindex.NewMemIndex()
+	}
+	return &Engine{g: g, opts: opts, index: index}, nil
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Hubs returns the hub set selected by Precompute (nil before Precompute).
+func (e *Engine) Hubs() *hub.Set { return e.hubs }
+
+// Index returns the PPV index.
+func (e *Engine) Index() ppvindex.Index { return e.index }
+
+// Options returns the engine options after defaulting.
+func (e *Engine) Options() Options { return e.opts }
+
+// OfflineStats returns the statistics of the last Precompute run.
+func (e *Engine) OfflineStats() OfflineStats { return e.offline }
+
+// Precompute runs the offline phase (Algorithm 1): select |H| hubs by the
+// configured policy and compute and store the prime PPV of every hub. It can
+// be called again after the options or graph change; the index is refilled.
+func (e *Engine) Precompute() error {
+	start := time.Now()
+
+	numHubs := e.opts.NumHubs
+	if numHubs == 0 {
+		numHubs = hub.SuggestHubCount(e.g, 0, 0)
+	}
+	hubs, err := hub.Select(e.g, hub.Options{
+		Policy:          e.opts.HubPolicy,
+		Count:           numHubs,
+		PageRank:        e.opts.PageRank,
+		PageRankOptions: pagerank.Options{Alpha: e.opts.Alpha},
+		Seed:            e.opts.HubSeed,
+	})
+	if err != nil {
+		return fmt.Errorf("core: hub selection: %w", err)
+	}
+	e.hubs = hubs
+	selectionDone := time.Now()
+
+	stats, err := e.computeHubPPVs(hubs.Hubs())
+	if err != nil {
+		return err
+	}
+
+	e.offline = stats
+	e.offline.Hubs = hubs.Size()
+	e.offline.HubSelection = selectionDone.Sub(start)
+	e.offline.PrimePPV = time.Since(selectionDone)
+	e.offline.Total = time.Since(start)
+	e.offline.IndexBytes = e.index.SizeBytes()
+	e.offline.IndexEntries = ppvindex.StatsOf(e.index).TotalEntries
+	e.precomuted = true
+	return nil
+}
+
+// computeHubPPVs computes and stores the prime PPVs for the given hub nodes
+// using a worker pool; index writes are serialized.
+func (e *Engine) computeHubPPVs(hubNodes []graph.NodeID) (OfflineStats, error) {
+	var stats OfflineStats
+
+	workers := e.opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hubNodes) {
+		workers = len(hubNodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	jobs := make(chan graph.NodeID)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards index writes and stats
+		firstErr error
+	)
+	worker := func() {
+		defer wg.Done()
+		for h := range jobs {
+			ppv, pstats, err := prime.ComputePPV(e.g, h, e.hubs, e.opts.primeOptions())
+			var clipped int
+			if err == nil && e.opts.Clip > 0 {
+				clipped = ppv.Clip(e.opts.Clip)
+			}
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: prime PPV of hub %d: %w", h, err)
+				}
+			} else if firstErr == nil {
+				if err := e.index.Put(h, ppv); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("core: indexing hub %d: %w", h, err)
+				}
+				stats.Pushes += int64(pstats.Pushes)
+				stats.ClippedEntries += int64(clipped)
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	for _, h := range hubNodes {
+		jobs <- h
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+// ExactPPV computes the exact PPV of q on the engine's graph with the
+// engine's alpha. It is exposed for evaluation and examples; it is orders of
+// magnitude slower than Query on large graphs.
+func (e *Engine) ExactPPV(q graph.NodeID) (sparse.Vector, error) {
+	return pagerank.ExactPPV(e.g, q, pagerank.Options{Alpha: e.opts.Alpha})
+}

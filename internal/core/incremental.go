@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/prime"
+)
+
+// GraphUpdate describes a batch of edge insertions and deletions applied to
+// the engine's graph. Node identifiers must already exist; adding nodes is
+// expressed by growing NumNodes (new isolated nodes become valid targets of
+// added edges).
+type GraphUpdate struct {
+	// AddedEdges are edges to insert (interpreted as logical edges: a single
+	// entry on an undirected graph adds both orientations).
+	AddedEdges []graph.Edge
+	// RemovedEdges are edges to delete. On an undirected graph either
+	// orientation identifies the edge.
+	RemovedEdges []graph.Edge
+	// NumNodes, when larger than the current node count, grows the node set.
+	NumNodes int
+}
+
+// UpdateStats reports the cost of an incremental index maintenance pass.
+type UpdateStats struct {
+	// AffectedHubs is the number of hubs whose prime PPV was recomputed.
+	AffectedHubs int
+	// UnaffectedHubs is the number of hubs whose indexed prime PPV was kept.
+	UnaffectedHubs int
+	// Duration is the wall time of the whole update.
+	Duration time.Duration
+}
+
+// ApplyUpdate implements the dynamic-graph extension sketched in the paper's
+// future work (Sect. 7): when the graph changes, only the prime PPVs whose
+// prime subgraph can reach a modified node are recomputed, the rest of the
+// index is reused. The hub set itself is kept fixed.
+//
+// A hub h is conservatively considered affected when its stored prime PPV has
+// a non-zero entry at the source endpoint of any added or removed edge: tours
+// from h change only if they pass through such a node. Because stored prime
+// PPVs are clipped, entries below the clip threshold may be missed; callers
+// that require exact maintenance should precompute with Clip disabled or call
+// Precompute for a full rebuild.
+func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
+	var stats UpdateStats
+	if !e.precomuted {
+		return stats, fmt.Errorf("core: ApplyUpdate before Precompute")
+	}
+	start := time.Now()
+
+	newGraph, err := rebuildGraph(e.g, upd)
+	if err != nil {
+		return stats, err
+	}
+
+	// Identify the nodes whose outgoing transition behaviour changes.
+	touched := make(map[graph.NodeID]struct{})
+	for _, ed := range upd.AddedEdges {
+		touched[ed.From] = struct{}{}
+		if !e.g.Directed() {
+			touched[ed.To] = struct{}{}
+		}
+	}
+	for _, ed := range upd.RemovedEdges {
+		touched[ed.From] = struct{}{}
+		if !e.g.Directed() {
+			touched[ed.To] = struct{}{}
+		}
+	}
+
+	e.g = newGraph
+
+	var affected []graph.NodeID
+	for _, h := range e.hubs.Hubs() {
+		ppv, ok, err := e.index.Get(h)
+		if err != nil {
+			return stats, fmt.Errorf("core: reading prime PPV of hub %d: %w", h, err)
+		}
+		if !ok {
+			affected = append(affected, h)
+			continue
+		}
+		hit := false
+		for t := range touched {
+			if _, reachable := ppv[t]; reachable || t == h {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			affected = append(affected, h)
+		} else {
+			stats.UnaffectedHubs++
+		}
+	}
+
+	for _, h := range affected {
+		ppv, _, err := prime.ComputePPV(e.g, h, e.hubs, e.opts.primeOptions())
+		if err != nil {
+			return stats, fmt.Errorf("core: recomputing prime PPV of hub %d: %w", h, err)
+		}
+		if e.opts.Clip > 0 {
+			ppv.Clip(e.opts.Clip)
+		}
+		if err := e.index.Put(h, ppv); err != nil {
+			return stats, fmt.Errorf("core: re-indexing hub %d: %w", h, err)
+		}
+	}
+	stats.AffectedHubs = len(affected)
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// rebuildGraph applies the update to a copy of g and returns the new graph.
+func rebuildGraph(g *graph.Graph, upd GraphUpdate) (*graph.Graph, error) {
+	numNodes := g.NumNodes()
+	if upd.NumNodes > numNodes {
+		numNodes = upd.NumNodes
+	}
+	removed := make(map[graph.Edge]int)
+	for _, ed := range upd.RemovedEdges {
+		key := canonicalEdge(g, ed)
+		removed[key]++
+	}
+	b := graph.NewBuilder(g.Directed())
+	b.EnsureNodes(numNodes)
+	var buildErr error
+	g.Edges(func(ed graph.Edge) bool {
+		if !g.Directed() && ed.From > ed.To {
+			return true // visit each undirected edge once
+		}
+		key := canonicalEdge(g, ed)
+		if removed[key] > 0 {
+			removed[key]--
+			return true
+		}
+		if err := b.AddEdge(ed.From, ed.To); err != nil {
+			buildErr = err
+			return false
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	for _, ed := range upd.AddedEdges {
+		if err := b.AddEdge(ed.From, ed.To); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finalize(), nil
+}
+
+// canonicalEdge normalizes an edge key so that, on undirected graphs, both
+// orientations identify the same logical edge.
+func canonicalEdge(g *graph.Graph, ed graph.Edge) graph.Edge {
+	if !g.Directed() && ed.From > ed.To {
+		ed.From, ed.To = ed.To, ed.From
+	}
+	return ed
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"fastppv/internal/gen"
+	"fastppv/internal/graph"
+	"fastppv/internal/hub"
+)
+
+func TestApplyUpdateMatchesFullRebuild(t *testing.T) {
+	g, err := gen.RandomDirected(80, 3, 42)
+	if err != nil {
+		t.Fatalf("RandomDirected: %v", err)
+	}
+	opts := exactOptions(10)
+
+	// Engine maintained incrementally.
+	inc, err := NewEngine(g, nil, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := inc.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+
+	update := GraphUpdate{
+		AddedEdges:   []graph.Edge{{From: 1, To: 50}, {From: 7, To: 3}, {From: 20, To: 21}},
+		RemovedEdges: []graph.Edge{{From: 0, To: g.OutNeighbors(0)[0]}},
+	}
+	stats, err := inc.ApplyUpdate(update)
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if stats.AffectedHubs+stats.UnaffectedHubs != inc.Hubs().Size() {
+		t.Errorf("affected %d + unaffected %d != %d hubs", stats.AffectedHubs, stats.UnaffectedHubs, inc.Hubs().Size())
+	}
+
+	// Engine rebuilt from scratch on the updated graph, with the same hub set
+	// (fixed via a PageRank override ranking the incremental engine's hubs
+	// first) so the indexes are directly comparable.
+	updated := inc.Graph()
+	rebuilt, err := NewEngine(updated, nil, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	pr := make([]float64, updated.NumNodes())
+	for i := range pr {
+		pr[i] = 0.001
+	}
+	for rank, h := range inc.Hubs().Hubs() {
+		pr[h] = 1 - float64(rank)*1e-6
+	}
+	rebuilt.opts.PageRank = pr
+	rebuilt.opts.HubPolicy = hub.ByPageRank
+	if err := rebuilt.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+
+	for q := graph.NodeID(0); q < 10; q++ {
+		a, err := inc.Query(q, StopCondition{MaxIterations: 6})
+		if err != nil {
+			t.Fatalf("incremental Query: %v", err)
+		}
+		b, err := rebuilt.Query(q, StopCondition{MaxIterations: 6})
+		if err != nil {
+			t.Fatalf("rebuilt Query: %v", err)
+		}
+		if d := a.Estimate.L1Distance(b.Estimate); d > 1e-9 {
+			t.Errorf("q=%d: incrementally maintained estimate differs from full rebuild by L1 %.3g", q, d)
+		}
+	}
+}
+
+func TestApplyUpdateAffectsOnlyReachableHubs(t *testing.T) {
+	// Build two disconnected cliques; an update inside one component must not
+	// recompute hubs of the other.
+	b := graph.NewBuilder(true)
+	const half = 20
+	b.EnsureNodes(2 * half)
+	for u := 0; u < half; u++ {
+		for v := 0; v < half; v++ {
+			if u != v {
+				b.MustAddEdge(graph.NodeID(u), graph.NodeID(v))
+				b.MustAddEdge(graph.NodeID(u+half), graph.NodeID(v+half))
+			}
+		}
+	}
+	g := b.Finalize()
+	e, err := NewEngine(g, nil, exactOptions(6))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	var hubsInSecond int
+	for _, h := range e.Hubs().Hubs() {
+		if int(h) >= half {
+			hubsInSecond++
+		}
+	}
+	if hubsInSecond == 0 {
+		t.Skip("hub selection placed no hubs in the second component")
+	}
+	stats, err := e.ApplyUpdate(GraphUpdate{AddedEdges: []graph.Edge{{From: 0, To: 1}}})
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if stats.UnaffectedHubs < hubsInSecond {
+		t.Errorf("expected at least the %d hubs of the untouched component to be unaffected, got %d",
+			hubsInSecond, stats.UnaffectedHubs)
+	}
+}
+
+func TestApplyUpdateBeforePrecomputeFails(t *testing.T) {
+	g, err := gen.RandomDirected(10, 2, 1)
+	if err != nil {
+		t.Fatalf("RandomDirected: %v", err)
+	}
+	e, err := NewEngine(g, nil, Options{NumHubs: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := e.ApplyUpdate(GraphUpdate{}); err == nil {
+		t.Errorf("ApplyUpdate before Precompute should fail")
+	}
+}
+
+func TestApplyUpdateGrowsNodeSet(t *testing.T) {
+	g, err := gen.RandomDirected(30, 2, 4)
+	if err != nil {
+		t.Fatalf("RandomDirected: %v", err)
+	}
+	e, err := NewEngine(g, nil, exactOptions(5))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	_, err = e.ApplyUpdate(GraphUpdate{
+		NumNodes:   35,
+		AddedEdges: []graph.Edge{{From: 0, To: 33}, {From: 33, To: 34}, {From: 34, To: 1}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if e.Graph().NumNodes() != 35 {
+		t.Fatalf("graph has %d nodes after update, want 35", e.Graph().NumNodes())
+	}
+	res, err := e.Query(0, StopCondition{MaxIterations: 10})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Estimate.Get(34) == 0 {
+		t.Errorf("new node 34 is unreachable from node 0 after the update")
+	}
+}

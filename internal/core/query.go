@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/prime"
+	"fastppv/internal/sparse"
+)
+
+// IterationStat records what one online iteration did.
+type IterationStat struct {
+	// Iteration is the iteration number (0 is the query node's prime PPV).
+	Iteration int
+	// HubsExpanded is the number of hub prime PPVs fetched and assembled in
+	// this iteration (0 for iteration 0).
+	HubsExpanded int
+	// HubsSkipped counts candidate hubs pruned by the delta threshold.
+	HubsSkipped int
+	// MassAdded is the total score mass contributed by this iteration's PPV
+	// increment; Theorem 2 predicts it shrinks exponentially with the
+	// iteration number.
+	MassAdded float64
+	// L1ErrorBound is phi(i) = 1 - sum(estimate) after this iteration.
+	L1ErrorBound float64
+	// Duration is the wall time of the iteration.
+	Duration time.Duration
+}
+
+// Result is the outcome of an online FastPPV query.
+type Result struct {
+	// Query is the query node.
+	Query graph.NodeID
+	// Estimate is the approximate PPV accumulated over all processed
+	// iterations.
+	Estimate sparse.Vector
+	// Iterations is the number of PPV increments applied beyond iteration 0.
+	Iterations int
+	// L1ErrorBound is the accuracy-aware error phi after the last iteration:
+	// an upper bound on the L1 distance to the exact PPV, computable without
+	// knowing the exact PPV (Eq. 6).
+	L1ErrorBound float64
+	// PerIteration holds one entry per processed iteration, including
+	// iteration 0.
+	PerIteration []IterationStat
+	// QueryPPVComputed reports whether the query node's prime PPV had to be
+	// computed on the fly (true when the query is not a hub).
+	QueryPPVComputed bool
+	// Duration is the total query wall time.
+	Duration time.Duration
+}
+
+// TopK returns the k best nodes of the estimate.
+func (r *Result) TopK(k int) []sparse.Entry { return r.Estimate.TopK(k) }
+
+// Query runs online FastPPV query processing (Algorithm 2) for query node q
+// under the stopping condition stop, assembling PPV increments from the
+// precomputed hub prime PPVs.
+func (e *Engine) Query(q graph.NodeID, stop StopCondition) (*Result, error) {
+	qs, err := e.NewQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return qs.Run(stop), nil
+}
+
+// QueryState is an in-progress incremental query. It exposes the scheduled
+// approximation directly: Step applies one more PPV increment and returns the
+// updated accuracy bound, so callers can trade accuracy for time dynamically
+// (the "accuracy-aware" property of Sect. 3).
+type QueryState struct {
+	engine *Engine
+	query  graph.NodeID
+
+	estimate sparse.Vector
+	// frontier maps hub -> prefix reachability r^(i-1)_q(hub) of the previous
+	// increment, i.e. the weight with which the hub's prime PPV is assembled
+	// in the next iteration (Theorem 4).
+	frontier  map[graph.NodeID]float64
+	iteration int
+	result    *Result
+	started   time.Time
+}
+
+// NewQuery starts incremental query processing for q and performs iteration 0
+// (the prime PPV of the query node, loaded from the index when q is a hub).
+func (e *Engine) NewQuery(q graph.NodeID) (*QueryState, error) {
+	return e.NewQueryOn(e.g, q)
+}
+
+// QueryOn is Query, but prime-subgraph identification for the query node runs
+// against the supplied adjacency view instead of the in-memory graph. The
+// disk-based configuration of Sect. 5.3 passes a diskgraph.View here so that
+// cluster faults are charged to the query.
+func (e *Engine) QueryOn(adj prime.Adjacency, q graph.NodeID, stop StopCondition) (*Result, error) {
+	qs, err := e.NewQueryOn(adj, q)
+	if err != nil {
+		return nil, err
+	}
+	return qs.Run(stop), nil
+}
+
+// NewQueryOn is NewQuery over an alternative adjacency view (see QueryOn).
+func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, error) {
+	if !e.precomuted {
+		return nil, fmt.Errorf("core: Query before Precompute")
+	}
+	if q < 0 || int(q) >= adj.NumNodes() {
+		return nil, fmt.Errorf("core: %w: query %d", graph.ErrNodeOutOfRange, q)
+	}
+	started := time.Now()
+
+	var (
+		queryPPV sparse.Vector
+		computed bool
+	)
+	if stored, ok, err := e.index.Get(q); err != nil {
+		return nil, fmt.Errorf("core: loading prime PPV of query %d: %w", q, err)
+	} else if ok {
+		queryPPV = stored
+	} else {
+		var err error
+		queryPPV, _, err = prime.ComputePPV(adj, q, e.hubs, e.opts.primeOptions())
+		if err != nil {
+			return nil, fmt.Errorf("core: prime PPV of query %d: %w", q, err)
+		}
+		computed = true
+	}
+
+	estimate := queryPPV.Clone()
+	qs := &QueryState{
+		engine:    e,
+		query:     q,
+		estimate:  estimate,
+		frontier:  make(map[graph.NodeID]float64),
+		started:   started,
+		iteration: 0,
+	}
+	// The frontier after iteration 0 is the hub entries of the query's prime
+	// PPV. If the query node is itself a hub, its self-entry includes the
+	// empty tour, which must not be extended (the starting node is excluded
+	// from hub length), so subtract alpha from it.
+	for node, score := range queryPPV {
+		if !e.hubs.Contains(node) {
+			continue
+		}
+		w := score
+		if node == q {
+			w -= e.opts.Alpha
+		}
+		if w > 0 {
+			qs.frontier[node] = w
+		}
+	}
+	bound := 1 - estimate.Sum()
+	qs.result = &Result{
+		Query:            q,
+		Estimate:         estimate,
+		L1ErrorBound:     bound,
+		QueryPPVComputed: computed,
+		PerIteration: []IterationStat{{
+			Iteration:    0,
+			MassAdded:    estimate.Sum(),
+			L1ErrorBound: bound,
+			Duration:     time.Since(started),
+		}},
+	}
+	qs.result.Duration = time.Since(started)
+	return qs, nil
+}
+
+// Result returns the current result snapshot. The estimate is shared with the
+// query state; callers that keep iterating should not modify it.
+func (qs *QueryState) Result() *Result { return qs.result }
+
+// L1ErrorBound returns the current accuracy-aware error bound.
+func (qs *QueryState) L1ErrorBound() float64 { return qs.result.L1ErrorBound }
+
+// Exhausted reports whether no extendable hubs remain, i.e. further Steps
+// cannot improve the estimate.
+func (qs *QueryState) Exhausted() bool { return len(qs.frontier) == 0 }
+
+// Step applies the next PPV increment (one more iteration of Algorithm 2's
+// while loop) and returns its statistics. Calling Step when Exhausted is a
+// no-op that returns a zero-mass stat.
+func (qs *QueryState) Step() IterationStat {
+	e := qs.engine
+	iterStart := time.Now()
+	qs.iteration++
+	stat := IterationStat{Iteration: qs.iteration}
+
+	if len(qs.frontier) == 0 {
+		stat.L1ErrorBound = qs.result.L1ErrorBound
+		qs.result.PerIteration = append(qs.result.PerIteration, stat)
+		return stat
+	}
+
+	increment := sparse.New(len(qs.estimate))
+	nextFrontier := make(map[graph.NodeID]float64)
+	for h, prefix := range qs.frontier {
+		if prefix <= e.opts.Delta {
+			stat.HubsSkipped++
+			continue
+		}
+		hubPPV, ok, err := e.index.Get(h)
+		if err != nil || !ok {
+			// A hub missing from the index (or an I/O error) is recovered by
+			// computing its prime PPV on the fly; this keeps queries usable
+			// with partially built indexes at the cost of extra work.
+			hubPPV, _, err = prime.ComputePPV(e.g, h, e.hubs, e.opts.primeOptions())
+			if err != nil {
+				stat.HubsSkipped++
+				continue
+			}
+		}
+		// Theorem 4: extend the prefix ending at hub h by h's prime PPV,
+		// excluding h's empty tour (an extension must advance the walk).
+		ext := prime.ExtensionVector(hubPPV, h, e.opts.Alpha)
+		increment.AddScaled(ext, prefix/e.opts.Alpha)
+		stat.HubsExpanded++
+	}
+
+	qs.estimate.AddVector(increment)
+	for node, score := range increment {
+		if e.hubs.Contains(node) && score > 0 {
+			nextFrontier[node] += score
+		}
+	}
+	qs.frontier = nextFrontier
+
+	stat.MassAdded = increment.Sum()
+	stat.L1ErrorBound = 1 - qs.estimate.Sum()
+	stat.Duration = time.Since(iterStart)
+
+	qs.result.Iterations = qs.iteration
+	qs.result.L1ErrorBound = stat.L1ErrorBound
+	qs.result.PerIteration = append(qs.result.PerIteration, stat)
+	qs.result.Duration = time.Since(qs.started)
+	return stat
+}
+
+// Run keeps stepping until the stopping condition is met and returns the
+// final result.
+func (qs *QueryState) Run(stop StopCondition) *Result {
+	maxIter := stop.maxIterations()
+	for qs.iteration < maxIter {
+		if stop.TargetL1Error > 0 && qs.result.L1ErrorBound <= stop.TargetL1Error {
+			break
+		}
+		if stop.TimeLimit > 0 && time.Since(qs.started) >= stop.TimeLimit {
+			break
+		}
+		if qs.Exhausted() {
+			break
+		}
+		prev := qs.result.L1ErrorBound
+		st := qs.Step()
+		// Defensive convergence guard: if an iteration added no mass (all
+		// candidate hubs pruned by delta), further iterations cannot help.
+		if st.MassAdded == 0 && st.L1ErrorBound >= prev {
+			break
+		}
+	}
+	qs.result.Duration = time.Since(qs.started)
+	return qs.result
+}

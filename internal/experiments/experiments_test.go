@@ -1,0 +1,203 @@
+package experiments
+
+// The experiment drivers are exercised end-to-end at ScaleTiny: these tests
+// are the integration tests of the whole repository, since each driver spans
+// the generators, the FastPPV engine, both baselines, the metrics and the
+// clustering/disk substrates.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadDatasetsAndCache(t *testing.T) {
+	d1, err := Load(DBLP, ScaleTiny)
+	if err != nil {
+		t.Fatalf("Load(DBLP): %v", err)
+	}
+	if d1.Graph.NumNodes() == 0 || len(d1.Queries) == 0 || len(d1.PageRank) != d1.Graph.NumNodes() {
+		t.Fatalf("DBLP dataset incomplete: %d nodes, %d queries", d1.Graph.NumNodes(), len(d1.Queries))
+	}
+	if d1.Bib == nil {
+		t.Error("DBLP dataset should carry the bibliographic generator output")
+	}
+	d2, err := Load(DBLP, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Load should return the cached dataset for the same name and scale")
+	}
+	lj, err := Load(LiveJournal, ScaleTiny)
+	if err != nil {
+		t.Fatalf("Load(LiveJournal): %v", err)
+	}
+	if !lj.Graph.Directed() {
+		t.Error("LiveJournal stand-in must be directed")
+	}
+	if d1.DefaultHubs() <= 0 || lj.DefaultHubs() <= 0 {
+		t.Error("DefaultHubs must be positive")
+	}
+	if _, err := Load("bogus", ScaleTiny); err == nil {
+		t.Error("unknown dataset name should fail")
+	}
+	// Exact PPVs are cached per query node.
+	q := d1.Queries[0]
+	a, err := d1.ExactPPV(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d1.ExactPPV(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L1Distance(b) != 0 {
+		t.Error("cached exact PPV differs from the first computation")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Scale
+	}{{"tiny", ScaleTiny}, {"small", ScaleSmall}, {"", ScaleSmall}, {"medium", ScaleMedium}} {
+		got, err := ParseScale(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScale(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if ScaleTiny.String() != "tiny" || ScaleMedium.String() != "medium" {
+		t.Error("Scale.String is wrong")
+	}
+}
+
+func TestIterationSweepImprovesWithEta(t *testing.T) {
+	points, err := IterationSweep(ScaleTiny, 2)
+	if err != nil {
+		t.Fatalf("IterationSweep: %v", err)
+	}
+	if len(points) != 6 { // two datasets x eta 0..2
+		t.Fatalf("IterationSweep returned %d points, want 6", len(points))
+	}
+	byDataset := map[DatasetName][]IterationPoint{}
+	for _, p := range points {
+		byDataset[p.Dataset] = append(byDataset[p.Dataset], p)
+	}
+	for name, series := range byDataset {
+		for i := 1; i < len(series); i++ {
+			if series[i].AvgL1Bound > series[i-1].AvgL1Bound+1e-9 {
+				t.Errorf("%s: phi bound increased from eta=%d to eta=%d", name, i-1, i)
+			}
+			if series[i].Accuracy.L1Similarity+1e-9 < series[i-1].Accuracy.L1Similarity {
+				t.Errorf("%s: L1 similarity decreased from eta=%d to eta=%d", name, i-1, i)
+			}
+		}
+	}
+	table := Fig12Table(points).String()
+	if !strings.Contains(table, "Fig. 12") {
+		t.Error("Fig12Table missing title")
+	}
+}
+
+func TestHubPoliciesCoverRequestedPolicies(t *testing.T) {
+	results, err := HubPolicies(ScaleTiny, true)
+	if err != nil {
+		t.Fatalf("HubPolicies: %v", err)
+	}
+	// 2 datasets x 4 policies (including random).
+	if len(results) != 8 {
+		t.Fatalf("HubPolicies returned %d results, want 8", len(results))
+	}
+	for _, r := range results {
+		if r.Result.Accuracy.Precision < 0 || r.Result.Accuracy.Precision > 1 {
+			t.Errorf("%s/%v: precision out of range: %v", r.Dataset, r.Policy, r.Result.Accuracy.Precision)
+		}
+		if r.Result.OfflineTime <= 0 {
+			t.Errorf("%s/%v: offline time not recorded", r.Dataset, r.Policy)
+		}
+	}
+	if s := Fig8Table(results).String(); !strings.Contains(s, "expected-utility") {
+		t.Error("Fig8Table missing the expected-utility policy row")
+	}
+	if s := Fig9Table(results).String(); !strings.Contains(s, "Offline") {
+		t.Error("Fig9Table missing offline columns")
+	}
+}
+
+func TestGrowthSeriesShape(t *testing.T) {
+	points, err := GrowthSeries(ScaleTiny)
+	if err != nil {
+		t.Fatalf("GrowthSeries: %v", err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("GrowthSeries returned %d points, want 10 (5 DBLP snapshots + 5 LJ samples)", len(points))
+	}
+	var lastDBLP, lastLJ int
+	for _, p := range points {
+		if p.Edges <= 0 || p.Nodes <= 0 {
+			t.Errorf("%s/%s: empty graph in growth series", p.Dataset, p.Label)
+		}
+		switch p.Dataset {
+		case DBLP:
+			if p.Edges < lastDBLP {
+				t.Errorf("DBLP snapshot %s shrank", p.Label)
+			}
+			lastDBLP = p.Edges
+		case LiveJournal:
+			if p.Edges < lastLJ {
+				t.Errorf("LiveJournal sample %s shrank", p.Label)
+			}
+			lastLJ = p.Edges
+		}
+	}
+	if s := Fig13Table(points).String(); !strings.Contains(s, "S5") {
+		t.Error("Fig13Table missing the S5 sample")
+	}
+}
+
+func TestTheorem2BoundHolds(t *testing.T) {
+	points, err := Theorem2(ScaleTiny, 4)
+	if err != nil {
+		t.Fatalf("Theorem2: %v", err)
+	}
+	if len(points) == 0 {
+		t.Fatal("Theorem2 returned no points")
+	}
+	for _, p := range points {
+		if p.MeasuredPhi > p.TheoremBound+1e-9 {
+			t.Errorf("%s k=%d: measured phi %.4f exceeds the bound %.4f",
+				p.Dataset, p.Iteration, p.MeasuredPhi, p.TheoremBound)
+		}
+	}
+}
+
+func TestDiskBasedTrends(t *testing.T) {
+	points, err := DiskBased(ScaleTiny, []int{4, 8})
+	if err != nil {
+		t.Fatalf("DiskBased: %v", err)
+	}
+	if len(points) != 4 { // two datasets x two cluster counts
+		t.Fatalf("DiskBased returned %d points, want 4", len(points))
+	}
+	byDataset := map[DatasetName][]DiskPoint{}
+	for _, p := range points {
+		if p.AvgFaults < 1 {
+			t.Errorf("%s with %d clusters reports %.2f faults/query, want at least 1",
+				p.Dataset, p.Clusters, p.AvgFaults)
+		}
+		byDataset[p.Dataset] = append(byDataset[p.Dataset], p)
+	}
+	for name, series := range byDataset {
+		if len(series) != 2 {
+			continue
+		}
+		// More clusters => smaller working set (the key claim of Fig. 16).
+		if series[1].MemoryNeedRatio >= series[0].MemoryNeedRatio {
+			t.Errorf("%s: memory need did not shrink with more clusters: %.3f -> %.3f",
+				name, series[0].MemoryNeedRatio, series[1].MemoryNeedRatio)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fastppv/internal/baseline/hubrankp"
+	"fastppv/internal/baseline/montecarlo"
+	"fastppv/internal/core"
+	"fastppv/internal/graph"
+	"fastppv/internal/metrics"
+	"fastppv/internal/sparse"
+)
+
+// MethodResult aggregates one method's behaviour over a query workload: the
+// average accuracy against exact PPVs, the average online query time, and the
+// offline precomputation cost. It is the unit every figure's table is built
+// from.
+type MethodResult struct {
+	Method       string
+	Accuracy     metrics.Report
+	AvgQueryTime time.Duration
+	OfflineTime  time.Duration
+	OfflineBytes int64
+}
+
+// queryFunc computes an approximate PPV for one query node.
+type queryFunc func(q graph.NodeID) (sparse.Vector, error)
+
+// evaluate runs fn over the dataset's query workload and scores it against
+// the exact PPVs.
+func evaluate(d *Dataset, method string, fn queryFunc) (MethodResult, error) {
+	res := MethodResult{Method: method}
+	if len(d.Queries) == 0 {
+		return res, fmt.Errorf("experiments: dataset %s has no queries", d.Name)
+	}
+	reports := make([]metrics.Report, 0, len(d.Queries))
+	var total time.Duration
+	for _, q := range d.Queries {
+		start := time.Now()
+		approx, err := fn(q)
+		total += time.Since(start)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s query %d: %w", method, q, err)
+		}
+		exact, err := d.ExactPPV(q)
+		if err != nil {
+			return res, fmt.Errorf("experiments: exact PPV of %d: %w", q, err)
+		}
+		reports = append(reports, metrics.Evaluate(exact, approx, metrics.DefaultTopK))
+	}
+	res.Accuracy = metrics.Average(reports)
+	res.AvgQueryTime = total / time.Duration(len(d.Queries))
+	return res, nil
+}
+
+// FastPPVConfig is the per-experiment FastPPV parameterization.
+type FastPPVConfig struct {
+	NumHubs    int
+	Iterations int
+	Options    core.Options
+}
+
+// buildFastPPV precomputes a FastPPV engine for the dataset.
+func buildFastPPV(d *Dataset, cfg FastPPVConfig) (*core.Engine, error) {
+	opts := cfg.Options
+	opts.NumHubs = cfg.NumHubs
+	if opts.PageRank == nil {
+		opts.PageRank = d.PageRank
+	}
+	engine, err := core.NewEngine(d.Graph, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.Precompute(); err != nil {
+		return nil, err
+	}
+	return engine, nil
+}
+
+// runFastPPV precomputes and evaluates FastPPV under cfg.
+func runFastPPV(d *Dataset, cfg FastPPVConfig) (MethodResult, error) {
+	engine, err := buildFastPPV(d, cfg)
+	if err != nil {
+		return MethodResult{}, err
+	}
+	stop := core.StopCondition{MaxIterations: cfg.Iterations}
+	res, err := evaluate(d, "FastPPV", func(q graph.NodeID) (sparse.Vector, error) {
+		r, err := engine.Query(q, stop)
+		if err != nil {
+			return nil, err
+		}
+		return r.Estimate, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	off := engine.OfflineStats()
+	res.OfflineTime = off.Total
+	res.OfflineBytes = off.IndexBytes
+	return res, nil
+}
+
+// HubRankPConfig is the per-experiment HubRankP parameterization.
+type HubRankPConfig struct {
+	NumHubs int
+	Push    float64
+}
+
+// runHubRankP precomputes and evaluates the HubRankP baseline.
+func runHubRankP(d *Dataset, cfg HubRankPConfig) (MethodResult, error) {
+	ranker, err := hubrankp.New(d.Graph, hubrankp.Options{
+		NumHubs:  cfg.NumHubs,
+		Push:     cfg.Push,
+		PageRank: d.PageRank,
+	})
+	if err != nil {
+		return MethodResult{}, err
+	}
+	if err := ranker.Precompute(); err != nil {
+		return MethodResult{}, err
+	}
+	res, err := evaluate(d, "HubRankP", func(q graph.NodeID) (sparse.Vector, error) {
+		r, err := ranker.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		return r.Estimate, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	off := ranker.OfflineStats()
+	res.OfflineTime = off.Total
+	res.OfflineBytes = off.IndexBytes
+	return res, nil
+}
+
+// MonteCarloConfig is the per-experiment MonteCarlo parameterization.
+type MonteCarloConfig struct {
+	NumHubs         int
+	SamplesPerQuery int
+}
+
+// runMonteCarlo precomputes and evaluates the MonteCarlo baseline.
+func runMonteCarlo(d *Dataset, cfg MonteCarloConfig) (MethodResult, error) {
+	est, err := montecarlo.New(d.Graph, montecarlo.Options{
+		NumHubs:         cfg.NumHubs,
+		SamplesPerQuery: cfg.SamplesPerQuery,
+		PageRank:        d.PageRank,
+		Seed:            17,
+	})
+	if err != nil {
+		return MethodResult{}, err
+	}
+	if err := est.Precompute(); err != nil {
+		return MethodResult{}, err
+	}
+	res, err := evaluate(d, "MonteCarlo", func(q graph.NodeID) (sparse.Vector, error) {
+		r, err := est.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		return r.Estimate, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	off := est.OfflineStats()
+	res.OfflineTime = off.Total
+	res.OfflineBytes = off.IndexBytes
+	return res, nil
+}

@@ -1,0 +1,307 @@
+// Package gen builds the synthetic datasets that stand in for the paper's two
+// evaluation graphs (Sect. 6, Datasets):
+//
+//   - DBLP: an undirected bibliographic network of authors, papers and venues
+//     connected by author-paper and paper-venue edges. Bibliographic generates
+//     a tripartite network with power-law author productivity and venue sizes,
+//     and stamps every paper with a year so the 1994-2010 snapshot series of
+//     Fig. 13(a) can be reproduced.
+//
+//   - LiveJournal: a directed social network with heavy-tailed degrees.
+//     SocialGraph generates a preferential-attachment graph; graph.SampleEdges
+//     produces the S1-S5 growth series of Fig. 13(b).
+//
+// The generators are deterministic given a seed. They reproduce the structural
+// properties FastPPV exploits (degree skew, hub reachability); absolute scale
+// defaults are reduced so the full benchmark suite runs on a laptop.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastppv/internal/graph"
+)
+
+// BibliographicConfig sizes the synthetic bibliographic network.
+type BibliographicConfig struct {
+	// Authors, Papers and Venues are the number of nodes of each kind.
+	Papers  int
+	Authors int
+	Venues  int
+	// AuthorsPerPaperMean is the mean number of authors per paper (>= 1).
+	AuthorsPerPaperMean float64
+	// Zipf skews author selection and venue selection: larger values make a
+	// few authors extremely prolific and a few venues extremely large,
+	// producing the hub structure FastPPV depends on. Must be > 1.
+	Zipf float64
+	// YearMin and YearMax bound the publication years assigned to papers
+	// (inclusive). Papers are assigned years with more recent years more
+	// likely, mimicking the growth of DBLP over time.
+	YearMin, YearMax int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultBibliographicConfig returns a laptop-scale DBLP stand-in (about 86k
+// nodes). Scale the Papers/Authors/Venues fields up for stress runs.
+func DefaultBibliographicConfig() BibliographicConfig {
+	return BibliographicConfig{
+		Papers:              50_000,
+		Authors:             35_000,
+		Venues:              800,
+		AuthorsPerPaperMean: 2.6,
+		Zipf:                1.35,
+		YearMin:             1994,
+		YearMax:             2010,
+		Seed:                1,
+	}
+}
+
+func (c BibliographicConfig) validate() error {
+	if c.Papers <= 0 || c.Authors <= 0 || c.Venues <= 0 {
+		return fmt.Errorf("gen: bibliographic config needs positive node counts, got %d/%d/%d", c.Papers, c.Authors, c.Venues)
+	}
+	if c.AuthorsPerPaperMean < 1 {
+		return fmt.Errorf("gen: AuthorsPerPaperMean %v < 1", c.AuthorsPerPaperMean)
+	}
+	if c.Zipf <= 1 {
+		return fmt.Errorf("gen: Zipf exponent %v must be > 1", c.Zipf)
+	}
+	if c.YearMax < c.YearMin {
+		return fmt.Errorf("gen: YearMax %d < YearMin %d", c.YearMax, c.YearMin)
+	}
+	return nil
+}
+
+// Bibliographic is the generated bibliographic network: the undirected graph
+// plus the node-kind partition and per-paper years used by the snapshot
+// experiments and the examples.
+type Bibliographic struct {
+	Graph *graph.Graph
+	// Kind of each node: "author", "paper" or "venue" (also stored as the
+	// node label prefix).
+	Authors []graph.NodeID
+	Papers  []graph.NodeID
+	Venues  []graph.NodeID
+	// PaperYear maps a paper node to its publication year.
+	PaperYear map[graph.NodeID]int
+	// edges keeps the paper-incident logical edges with their year, enabling
+	// Snapshot to rebuild historical graphs.
+	edges []timestampedEdge
+}
+
+type timestampedEdge struct {
+	e    graph.Edge
+	year int
+}
+
+// NewBibliographic generates a bibliographic network.
+func NewBibliographic(cfg BibliographicConfig) (*Bibliographic, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	b := graph.NewBuilder(false)
+	out := &Bibliographic{PaperYear: make(map[graph.NodeID]int, cfg.Papers)}
+
+	for i := 0; i < cfg.Authors; i++ {
+		out.Authors = append(out.Authors, b.AddLabeledNode(fmt.Sprintf("author/%d", i)))
+	}
+	for i := 0; i < cfg.Venues; i++ {
+		out.Venues = append(out.Venues, b.AddLabeledNode(fmt.Sprintf("venue/%d", i)))
+	}
+
+	authorPicker := newZipfPicker(rng, cfg.Zipf, cfg.Authors)
+	venuePicker := newZipfPicker(rng, cfg.Zipf, cfg.Venues)
+	yearSpan := cfg.YearMax - cfg.YearMin + 1
+
+	for i := 0; i < cfg.Papers; i++ {
+		paper := b.AddLabeledNode(fmt.Sprintf("paper/%d", i))
+		out.Papers = append(out.Papers, paper)
+		// Later years carry more papers (quadratic CDF), mimicking growth.
+		year := cfg.YearMin + int(float64(yearSpan)*math.Sqrt(rng.Float64()))
+		if year > cfg.YearMax {
+			year = cfg.YearMax
+		}
+		out.PaperYear[paper] = year
+
+		venue := out.Venues[venuePicker.pick()]
+		out.addEdge(b, paper, venue, year)
+
+		numAuthors := 1 + poisson(rng, cfg.AuthorsPerPaperMean-1)
+		seen := make(map[int]bool, numAuthors)
+		for a := 0; a < numAuthors; a++ {
+			idx := authorPicker.pick()
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			out.addEdge(b, paper, out.Authors[idx], year)
+		}
+	}
+	out.Graph = b.Finalize()
+	return out, nil
+}
+
+func (bib *Bibliographic) addEdge(b *graph.Builder, from, to graph.NodeID, year int) {
+	b.MustAddEdge(from, to)
+	bib.edges = append(bib.edges, timestampedEdge{e: graph.Edge{From: from, To: to}, year: year})
+}
+
+// Snapshot returns the subnetwork of papers published up to and including
+// year, mirroring the DBLP snapshots of Fig. 13(a). Author and venue nodes are
+// kept (possibly isolated) so node identifiers are stable across snapshots.
+func (bib *Bibliographic) Snapshot(year int) *graph.Graph {
+	b := graph.NewBuilder(false)
+	b.EnsureNodes(bib.Graph.NumNodes())
+	for _, te := range bib.edges {
+		if te.year <= year {
+			b.MustAddEdge(te.e.From, te.e.To)
+		}
+	}
+	return b.Finalize()
+}
+
+// SocialConfig sizes the synthetic directed social network.
+type SocialConfig struct {
+	// Nodes is the number of users.
+	Nodes int
+	// OutDegreeMean is the average number of declared friends per user.
+	OutDegreeMean float64
+	// Attachment controls preferential attachment strength in [0,1]: 0 picks
+	// targets uniformly, 1 picks proportionally to current in-degree + 1.
+	Attachment float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultSocialConfig returns a laptop-scale LiveJournal stand-in.
+func DefaultSocialConfig() SocialConfig {
+	return SocialConfig{Nodes: 60_000, OutDegreeMean: 8, Attachment: 0.85, Seed: 7}
+}
+
+func (c SocialConfig) validate() error {
+	if c.Nodes <= 1 {
+		return fmt.Errorf("gen: social config needs at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.OutDegreeMean < 1 {
+		return fmt.Errorf("gen: OutDegreeMean %v < 1", c.OutDegreeMean)
+	}
+	if c.Attachment < 0 || c.Attachment > 1 {
+		return fmt.Errorf("gen: Attachment %v outside [0,1]", c.Attachment)
+	}
+	return nil
+}
+
+// SocialGraph generates a directed friendship graph with heavy-tailed
+// in-degrees via preferential attachment. Every node declares at least one
+// friend, so the graph has no dangling nodes and the accuracy-aware error
+// bound of Eq. 6 is exact on it.
+func SocialGraph(cfg SocialConfig) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(cfg.Nodes)
+
+	// targets chosen so far; preferential attachment picks uniformly from
+	// this multiset (each element is one unit of in-degree).
+	attachPool := make([]graph.NodeID, 0, int(float64(cfg.Nodes)*cfg.OutDegreeMean))
+
+	for u := 0; u < cfg.Nodes; u++ {
+		deg := 1 + poisson(rng, cfg.OutDegreeMean-1)
+		seen := make(map[graph.NodeID]bool, deg)
+		for d := 0; d < deg; d++ {
+			var v graph.NodeID
+			if len(attachPool) > 0 && rng.Float64() < cfg.Attachment {
+				v = attachPool[rng.Intn(len(attachPool))]
+			} else {
+				v = graph.NodeID(rng.Intn(cfg.Nodes))
+			}
+			if v == graph.NodeID(u) || seen[v] {
+				// Retry once with a uniform pick; skip on a second collision
+				// to keep generation O(E).
+				v = graph.NodeID(rng.Intn(cfg.Nodes))
+				if v == graph.NodeID(u) || seen[v] {
+					continue
+				}
+			}
+			seen[v] = true
+			b.MustAddEdge(graph.NodeID(u), v)
+			attachPool = append(attachPool, v)
+		}
+		if len(seen) == 0 {
+			// Guarantee a minimum out-degree of one.
+			v := graph.NodeID((u + 1) % cfg.Nodes)
+			b.MustAddEdge(graph.NodeID(u), v)
+			attachPool = append(attachPool, v)
+		}
+	}
+	return b.Finalize(), nil
+}
+
+// zipfPicker draws indexes in [0,n) with a Zipf-like distribution so that low
+// indexes are much more popular than high ones.
+type zipfPicker struct {
+	z *rand.Zipf
+	n int
+}
+
+func newZipfPicker(rng *rand.Rand, s float64, n int) *zipfPicker {
+	return &zipfPicker{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+func (p *zipfPicker) pick() int { return int(p.z.Uint64()) }
+
+// poisson draws a Poisson-distributed integer with the given mean using
+// Knuth's method; for mean 0 it returns 0.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// RandomDirected generates a uniform random directed graph where every node
+// has outDegree out-neighbours chosen without replacement. It has no dangling
+// nodes, which makes it convenient for tests of the exact error bound. It is
+// not used as a dataset stand-in.
+func RandomDirected(nodes, outDegree int, seed int64) (*graph.Graph, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("gen: RandomDirected needs at least 2 nodes, got %d", nodes)
+	}
+	if outDegree < 1 || outDegree >= nodes {
+		return nil, fmt.Errorf("gen: out-degree %d must be in [1,%d)", outDegree, nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(nodes)
+	for u := 0; u < nodes; u++ {
+		seen := map[graph.NodeID]bool{}
+		for len(seen) < outDegree {
+			v := graph.NodeID(rng.Intn(nodes))
+			if v == graph.NodeID(u) || seen[v] {
+				continue
+			}
+			seen[v] = true
+			b.MustAddEdge(graph.NodeID(u), v)
+		}
+	}
+	return b.Finalize(), nil
+}

@@ -1,0 +1,106 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"fastppv/internal/graph"
+)
+
+// cycleGraph builds a directed n-cycle, whose PageRank is uniform by symmetry.
+func cycleGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(n)
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Finalize()
+}
+
+func TestGlobalPageRankSumsToOne(t *testing.T) {
+	g := cycleGraph(t, 10)
+	pr, err := Global(g, Options{})
+	if err != nil {
+		t.Fatalf("Global: %v", err)
+	}
+	var sum float64
+	for _, s := range pr {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sums to %v, want 1", sum)
+	}
+}
+
+func TestGlobalPageRankUniformOnCycle(t *testing.T) {
+	const n = 20
+	g := cycleGraph(t, n)
+	pr, err := Global(g, Options{})
+	if err != nil {
+		t.Fatalf("Global: %v", err)
+	}
+	for i, s := range pr {
+		if math.Abs(s-1.0/n) > 1e-9 {
+			t.Errorf("node %d has score %v, want %v", i, s, 1.0/n)
+		}
+	}
+}
+
+func TestGlobalPageRankPrefersHighInDegree(t *testing.T) {
+	// Star pointing at node 0: every other node links to 0, and 0 links back
+	// to node 1 so it is not dangling.
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(10)
+	for i := 1; i < 10; i++ {
+		b.MustAddEdge(graph.NodeID(i), 0)
+	}
+	b.MustAddEdge(0, 1)
+	g := b.Finalize()
+	pr, err := Global(g, Options{})
+	if err != nil {
+		t.Fatalf("Global: %v", err)
+	}
+	for i := 2; i < 10; i++ {
+		if pr[0] <= pr[i] {
+			t.Errorf("hub node 0 (%.4f) should outrank leaf %d (%.4f)", pr[0], i, pr[i])
+		}
+	}
+}
+
+func TestGlobalPageRankHandlesDanglingNodes(t *testing.T) {
+	// 0 -> 1, 1 has no out-edges.
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(2)
+	b.MustAddEdge(0, 1)
+	g := b.Finalize()
+	pr, err := Global(g, Options{})
+	if err != nil {
+		t.Fatalf("Global: %v", err)
+	}
+	if math.Abs(pr[0]+pr[1]-1) > 1e-9 {
+		t.Errorf("PageRank with dangling node sums to %v, want 1", pr[0]+pr[1])
+	}
+	if pr[1] <= pr[0] {
+		t.Errorf("node 1 receives node 0's mass and should outrank it: %v vs %v", pr[1], pr[0])
+	}
+}
+
+func TestGlobalOptionValidation(t *testing.T) {
+	g := cycleGraph(t, 4)
+	if _, err := Global(g, Options{Alpha: 1.2}); err == nil {
+		t.Error("alpha > 1 should be rejected")
+	}
+	if _, err := Global(g, Options{Alpha: -0.1}); err == nil {
+		t.Error("negative alpha should be rejected")
+	}
+	if _, err := Global(g, Options{Tolerance: -1}); err == nil {
+		t.Error("negative tolerance should be rejected")
+	}
+	if _, err := Global(g, Options{MaxIterations: -1}); err == nil {
+		t.Error("negative max iterations should be rejected")
+	}
+	if out, err := Global(graph.NewBuilder(true).Finalize(), Options{}); err != nil || out != nil {
+		t.Errorf("empty graph should return nil, nil; got %v, %v", out, err)
+	}
+}

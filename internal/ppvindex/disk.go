@@ -1,0 +1,251 @@
+package ppvindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+// Disk layout (little endian):
+//
+//	header:
+//	  magic  uint32 'F','P','I','1'
+//	  hubs   uint32
+//	directory (hubs entries):
+//	  hub    uint32
+//	  offset uint64   byte offset of the hub's record from the file start
+//	records (one per hub, at its directory offset):
+//	  hub    uint32
+//	  count  uint32
+//	  count * { node uint32, score float64 }
+//
+// The directory is small enough to keep in memory (12 bytes per hub); each
+// Get performs a single positioned read of the record, which models the "one
+// random access to the disk" per fetched hub of Sect. 6.3.1.
+const diskMagic = uint32('F') | uint32('P')<<8 | uint32('I')<<16 | uint32('1')<<24
+
+// ErrBadIndexFormat reports a corrupt or foreign index file.
+var ErrBadIndexFormat = errors.New("ppvindex: bad index file format")
+
+// DiskWriter streams prime PPVs into an index file. It buffers only the
+// directory in memory, so precomputing indexes much larger than RAM is
+// possible. Entries must be written with Put and the writer must be closed to
+// finalize the directory.
+type DiskWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	offset  uint64
+	entries []dirEntry
+	closed  bool
+}
+
+type dirEntry struct {
+	hub    graph.NodeID
+	offset uint64
+}
+
+// CreateDisk creates (truncates) an index file for writing.
+func CreateDisk(path string) (*DiskWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+// Put appends the prime PPV of hub h to the index file. Entries are written
+// in node order for determinism.
+func (d *DiskWriter) Put(h graph.NodeID, ppv sparse.Vector) error {
+	if d.closed {
+		return errors.New("ppvindex: Put on closed DiskWriter")
+	}
+	d.entries = append(d.entries, dirEntry{hub: h, offset: d.offset})
+
+	nodes := make([]graph.NodeID, 0, len(ppv))
+	for n := range ppv {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	buf := make([]byte, 8+len(nodes)*entryBytes)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(h))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(nodes)))
+	at := 8
+	for _, n := range nodes {
+		binary.LittleEndian.PutUint32(buf[at:], uint32(n))
+		binary.LittleEndian.PutUint64(buf[at+4:], math.Float64bits(ppv[n]))
+		at += entryBytes
+	}
+	if _, err := d.w.Write(buf); err != nil {
+		return err
+	}
+	d.offset += uint64(len(buf))
+	return nil
+}
+
+// Close finalizes the index: it flushes the records, appends the directory and
+// rewrites the header. The writer cannot be used afterwards.
+func (d *DiskWriter) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.w.Flush(); err != nil {
+		d.f.Close()
+		return err
+	}
+	// Records were written from the start of the file; now append the
+	// directory and finish with a footer pointing at it.
+	dirStart := d.offset
+	dirBuf := make([]byte, len(d.entries)*12)
+	for i, e := range d.entries {
+		binary.LittleEndian.PutUint32(dirBuf[i*12:], uint32(e.hub))
+		binary.LittleEndian.PutUint64(dirBuf[i*12+4:], e.offset)
+	}
+	if _, err := d.f.Write(dirBuf); err != nil {
+		d.f.Close()
+		return err
+	}
+	footer := make([]byte, 16)
+	binary.LittleEndian.PutUint32(footer[0:], diskMagic)
+	binary.LittleEndian.PutUint32(footer[4:], uint32(len(d.entries)))
+	binary.LittleEndian.PutUint64(footer[8:], dirStart)
+	if _, err := d.f.Write(footer); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}
+
+// DiskIndex is a read-only disk-backed PPV index. It is safe for concurrent
+// use: reads use positioned I/O on a shared file descriptor.
+type DiskIndex struct {
+	f         *os.File
+	mu        sync.RWMutex
+	directory map[graph.NodeID]uint64
+	hubs      []graph.NodeID
+	size      int64
+	// Reads counts the number of record fetches, modelling random disk
+	// accesses during online query processing.
+	reads int64
+}
+
+// OpenDisk opens an index file written by DiskWriter.
+func OpenDisk(path string) (*DiskIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < 16 {
+		f.Close()
+		return nil, ErrBadIndexFormat
+	}
+	footer := make([]byte, 16)
+	if _, err := f.ReadAt(footer, st.Size()-16); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(footer[0:]) != diskMagic {
+		f.Close()
+		return nil, ErrBadIndexFormat
+	}
+	hubCount := int(binary.LittleEndian.Uint32(footer[4:]))
+	dirStart := int64(binary.LittleEndian.Uint64(footer[8:]))
+	if dirStart < 0 || dirStart+int64(hubCount)*12 > st.Size()-16 {
+		f.Close()
+		return nil, ErrBadIndexFormat
+	}
+	dirBuf := make([]byte, hubCount*12)
+	if _, err := f.ReadAt(dirBuf, dirStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	idx := &DiskIndex{
+		f:         f,
+		directory: make(map[graph.NodeID]uint64, hubCount),
+		hubs:      make([]graph.NodeID, 0, hubCount),
+		size:      st.Size(),
+	}
+	for i := 0; i < hubCount; i++ {
+		h := graph.NodeID(binary.LittleEndian.Uint32(dirBuf[i*12:]))
+		off := binary.LittleEndian.Uint64(dirBuf[i*12+4:])
+		idx.directory[h] = off
+		idx.hubs = append(idx.hubs, h)
+	}
+	sort.Slice(idx.hubs, func(i, j int) bool { return idx.hubs[i] < idx.hubs[j] })
+	return idx, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskIndex) Close() error { return d.f.Close() }
+
+// Get reads the prime PPV of h from disk.
+func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
+	d.mu.RLock()
+	off, ok := d.directory[h]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	header := make([]byte, 8)
+	if _, err := d.f.ReadAt(header, int64(off)); err != nil {
+		return nil, false, err
+	}
+	storedHub := graph.NodeID(binary.LittleEndian.Uint32(header[0:]))
+	count := int(binary.LittleEndian.Uint32(header[4:]))
+	if storedHub != h {
+		return nil, false, fmt.Errorf("%w: record at offset %d is for hub %d, expected %d", ErrBadIndexFormat, off, storedHub, h)
+	}
+	buf := make([]byte, count*entryBytes)
+	if _, err := d.f.ReadAt(buf, int64(off)+8); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	v := sparse.New(count)
+	for i := 0; i < count; i++ {
+		node := graph.NodeID(binary.LittleEndian.Uint32(buf[i*entryBytes:]))
+		score := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*entryBytes+4:]))
+		v[node] = score
+	}
+	d.mu.Lock()
+	d.reads++
+	d.mu.Unlock()
+	return v, true, nil
+}
+
+// Has reports whether h is indexed.
+func (d *DiskIndex) Has(h graph.NodeID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.directory[h]
+	return ok
+}
+
+// Hubs returns the indexed hubs in ascending order.
+func (d *DiskIndex) Hubs() []graph.NodeID { return d.hubs }
+
+// Len returns the number of indexed hubs.
+func (d *DiskIndex) Len() int { return len(d.hubs) }
+
+// SizeBytes returns the index file size.
+func (d *DiskIndex) SizeBytes() int64 { return d.size }
+
+// Reads returns the number of record fetches performed so far.
+func (d *DiskIndex) Reads() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.reads
+}

@@ -1,0 +1,175 @@
+package ppvindex
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+func sampleVectors() map[graph.NodeID]sparse.Vector {
+	return map[graph.NodeID]sparse.Vector{
+		3:  {1: 0.5, 2: 0.25, 3: 0.15},
+		7:  {7: 0.15, 9: 0.01},
+		11: {0: 1e-3},
+	}
+}
+
+func TestMemIndexRoundTrip(t *testing.T) {
+	idx := NewMemIndex()
+	for h, v := range sampleVectors() {
+		if err := idx.Put(h, v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", idx.Len())
+	}
+	v, ok, err := idx.Get(3)
+	if err != nil || !ok {
+		t.Fatalf("Get(3) = %v, %v, %v", v, ok, err)
+	}
+	if v.Get(2) != 0.25 {
+		t.Errorf("Get(3)[2] = %v, want 0.25", v.Get(2))
+	}
+	if _, ok, _ := idx.Get(99); ok {
+		t.Error("Get(99) should miss")
+	}
+	if !idx.Has(7) || idx.Has(8) {
+		t.Error("Has results wrong")
+	}
+	hubs := idx.Hubs()
+	if len(hubs) != 3 || hubs[0] != 3 || hubs[2] != 11 {
+		t.Errorf("Hubs = %v, want [3 7 11]", hubs)
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+	stats := StatsOf(idx)
+	if stats.Hubs != 3 || stats.TotalEntries != 6 {
+		t.Errorf("StatsOf = %+v, want 3 hubs and 6 entries", stats)
+	}
+	if stats.String() == "" {
+		t.Error("Stats.String should not be empty")
+	}
+}
+
+func TestMemIndexPutReplaces(t *testing.T) {
+	idx := NewMemIndex()
+	_ = idx.Put(1, sparse.Vector{2: 0.5})
+	_ = idx.Put(1, sparse.Vector{3: 0.25})
+	v, _, _ := idx.Get(1)
+	if v.Get(2) != 0 || v.Get(3) != 0.25 {
+		t.Errorf("Put should replace the previous vector, got %v", v)
+	}
+	if idx.Len() != 1 {
+		t.Errorf("Len = %d, want 1", idx.Len())
+	}
+}
+
+func TestDiskIndexRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatalf("CreateDisk: %v", err)
+	}
+	want := sampleVectors()
+	for h, v := range want {
+		if err := w.Put(h, v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close should be a no-op, got %v", err)
+	}
+	if err := w.Put(1, sparse.Vector{1: 1}); err == nil {
+		t.Error("Put after Close should fail")
+	}
+
+	idx, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer idx.Close()
+	if idx.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(want))
+	}
+	for h, wantVec := range want {
+		got, ok, err := idx.Get(h)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) = %v, %v, %v", h, got, ok, err)
+		}
+		if d := got.L1Distance(wantVec); d > 1e-12 {
+			t.Errorf("Get(%d) differs from stored vector by %v", h, d)
+		}
+	}
+	if _, ok, _ := idx.Get(12345); ok {
+		t.Error("Get on a missing hub should miss")
+	}
+	if !idx.Has(7) || idx.Has(5) {
+		t.Error("Has results wrong")
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+	if idx.Reads() != int64(len(want)) {
+		t.Errorf("Reads = %d, want %d", idx.Reads(), len(want))
+	}
+	hubs := idx.Hubs()
+	if len(hubs) != 3 || hubs[0] != 3 {
+		t.Errorf("Hubs = %v", hubs)
+	}
+}
+
+func TestOpenDiskRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "missing.ppv")
+	if _, err := OpenDisk(missing); err == nil {
+		t.Error("OpenDisk on a missing file should fail")
+	}
+	garbage := filepath.Join(dir, "garbage.ppv")
+	if err := writeFile(garbage, []byte("this is not an index file at all")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(garbage); err == nil {
+		t.Error("OpenDisk on garbage should fail")
+	}
+	tiny := filepath.Join(dir, "tiny.ppv")
+	if err := writeFile(tiny, []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(tiny); err == nil {
+		t.Error("OpenDisk on a too-small file should fail")
+	}
+}
+
+func TestDiskIndexEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk on an empty index: %v", err)
+	}
+	defer idx.Close()
+	if idx.Len() != 0 {
+		t.Errorf("Len = %d, want 0", idx.Len())
+	}
+	if _, ok, _ := idx.Get(1); ok {
+		t.Error("Get on an empty index should miss")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

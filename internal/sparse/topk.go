@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"container/heap"
+
+	"fastppv/internal/graph"
+)
+
+// TopK returns the k highest-scoring entries of v in descending score order
+// (ties broken by ascending node id). It runs in O(len(v) log k), avoiding a
+// full sort of potentially large vectors; the accuracy metrics of Sect. 6 only
+// look at the top 10 nodes.
+func (v Vector) TopK(k int) []Entry {
+	if k <= 0 || len(v) == 0 {
+		return nil
+	}
+	if k >= len(v) {
+		return v.Entries()
+	}
+	h := make(entryMinHeap, 0, k+1)
+	for id, s := range v {
+		e := Entry{Node: id, Score: s}
+		if len(h) < k {
+			heap.Push(&h, e)
+			continue
+		}
+		if entryLess(h[0], e) {
+			h[0] = e
+			heap.Fix(&h, 0)
+		}
+	}
+	// Pop in ascending order, then reverse.
+	out := make([]Entry, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Entry)
+	}
+	return out
+}
+
+// TopKNodes returns only the node ids of the top k entries.
+func (v Vector) TopKNodes(k int) []graph.NodeID {
+	entries := v.TopK(k)
+	out := make([]graph.NodeID, len(entries))
+	for i, e := range entries {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// entryLess orders entries so that "smaller" means worse rank: lower score, or
+// equal score with a larger node id.
+func entryLess(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+// entryMinHeap is a min-heap over Entry keeping the k best entries seen so
+// far: the root is the worst of the kept entries.
+type entryMinHeap []Entry
+
+func (h entryMinHeap) Len() int            { return len(h) }
+func (h entryMinHeap) Less(i, j int) bool  { return entryLess(h[i], h[j]) }
+func (h entryMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryMinHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

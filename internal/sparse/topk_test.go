@@ -1,0 +1,88 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fastppv/internal/graph"
+)
+
+func TestTopKBasic(t *testing.T) {
+	v := Vector{1: 0.4, 2: 0.1, 3: 0.3, 4: 0.2}
+	top := v.TopK(2)
+	if len(top) != 2 || top[0].Node != 1 || top[1].Node != 3 {
+		t.Errorf("TopK(2) = %v, want nodes [1 3]", top)
+	}
+	nodes := v.TopKNodes(3)
+	want := []graph.NodeID{1, 3, 4}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("TopKNodes(3) = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	var empty Vector
+	if got := empty.TopK(5); got != nil {
+		t.Errorf("TopK on empty vector = %v, want nil", got)
+	}
+	v := Vector{7: 1}
+	if got := v.TopK(0); got != nil {
+		t.Errorf("TopK(0) = %v, want nil", got)
+	}
+	if got := v.TopK(10); len(got) != 1 {
+		t.Errorf("TopK(k > len) = %v, want the single entry", got)
+	}
+}
+
+func TestTopKTieBreaking(t *testing.T) {
+	v := Vector{9: 0.5, 3: 0.5, 6: 0.5}
+	nodes := v.TopKNodes(2)
+	// Equal scores: lower node ids win, deterministically.
+	if nodes[0] != 3 || nodes[1] != 6 {
+		t.Errorf("tie-broken TopK = %v, want [3 6]", nodes)
+	}
+}
+
+// TestTopKQuickMatchesFullSort property-tests that the heap-based TopK agrees
+// with sorting all entries.
+func TestTopKQuickMatchesFullSort(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		v := New(len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v.Set(graph.NodeID(i), math.Abs(math.Mod(x, 1000)))
+		}
+		k := int(kRaw%40) + 1
+		got := v.TopK(k)
+
+		all := v.Entries()
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			return all[i].Node < all[j].Node
+		})
+		want := all
+		if k < len(all) {
+			want = all[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

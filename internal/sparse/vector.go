@@ -1,0 +1,173 @@
+// Package sparse provides the sparse score vectors used throughout the
+// FastPPV reproduction. A Personalized PageRank Vector (PPV) over a large
+// graph typically has mass concentrated on a small neighbourhood of the query
+// node, so PPVs, PPV increments and prime PPVs are all represented as sparse
+// maps from node id to score.
+package sparse
+
+import (
+	"math"
+	"sort"
+
+	"fastppv/internal/graph"
+)
+
+// Vector is a sparse vector of non-negative scores indexed by node id. A nil
+// Vector behaves like an empty vector for read operations; use New or Clone
+// before writing.
+type Vector map[graph.NodeID]float64
+
+// New returns an empty vector with room for sizeHint entries.
+func New(sizeHint int) Vector {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return make(Vector, sizeHint)
+}
+
+// FromDense converts a dense score slice into a sparse vector, dropping exact
+// zeros.
+func FromDense(dense []float64) Vector {
+	v := New(len(dense) / 4)
+	for i, s := range dense {
+		if s != 0 {
+			v[graph.NodeID(i)] = s
+		}
+	}
+	return v
+}
+
+// Dense converts v into a dense slice of length n.
+func (v Vector) Dense(n int) []float64 {
+	out := make([]float64, n)
+	for id, s := range v {
+		if int(id) < n {
+			out[id] = s
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := New(len(v))
+	for id, s := range v {
+		out[id] = s
+	}
+	return out
+}
+
+// Get returns the score of id (zero when absent).
+func (v Vector) Get(id graph.NodeID) float64 { return v[id] }
+
+// Set assigns a score, deleting the entry when the score is zero.
+func (v Vector) Set(id graph.NodeID, score float64) {
+	if score == 0 {
+		delete(v, id)
+		return
+	}
+	v[id] = score
+}
+
+// Add accumulates score onto the entry for id.
+func (v Vector) Add(id graph.NodeID, score float64) {
+	if score == 0 {
+		return
+	}
+	v[id] += score
+}
+
+// AddVector accumulates other into v entry-wise.
+func (v Vector) AddVector(other Vector) {
+	for id, s := range other {
+		v[id] += s
+	}
+}
+
+// AddScaled accumulates scale*other into v entry-wise. It is the core
+// operation of the tour-assembly model (Theorem 4): extending a PPV increment
+// by a prefix weight times a hub's prime PPV.
+func (v Vector) AddScaled(other Vector, scale float64) {
+	if scale == 0 {
+		return
+	}
+	for id, s := range other {
+		v[id] += scale * s
+	}
+}
+
+// Scale multiplies every entry by factor.
+func (v Vector) Scale(factor float64) {
+	for id := range v {
+		v[id] *= factor
+	}
+}
+
+// Sum returns the total mass of the vector (the L1 norm, since scores are
+// non-negative). The accuracy-aware stopping rule of Sect. 3 uses
+// 1 - Sum(estimate) as the exact L1 error of the estimate.
+func (v Vector) Sum() float64 {
+	var total float64
+	for _, s := range v {
+		total += s
+	}
+	return total
+}
+
+// L1Distance returns the L1 distance between v and other.
+func (v Vector) L1Distance(other Vector) float64 {
+	var total float64
+	for id, s := range v {
+		total += math.Abs(s - other[id])
+	}
+	for id, s := range other {
+		if _, ok := v[id]; !ok {
+			total += math.Abs(s)
+		}
+	}
+	return total
+}
+
+// Clip removes entries with score strictly below threshold and returns the
+// number of removed entries. The paper clips stored PPVs at 1e-4 to bound
+// index size (Sect. 6, Parameters).
+func (v Vector) Clip(threshold float64) int {
+	removed := 0
+	for id, s := range v {
+		if s < threshold {
+			delete(v, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// NonZeros returns the number of stored entries.
+func (v Vector) NonZeros() int { return len(v) }
+
+// Equal reports whether v and other are entry-wise equal within tol.
+func (v Vector) Equal(other Vector, tol float64) bool {
+	return v.L1Distance(other) <= tol
+}
+
+// Entry is a (node, score) pair used for ranked results.
+type Entry struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Entries returns all entries sorted by descending score, breaking ties by
+// ascending node id so that rankings are deterministic.
+func (v Vector) Entries() []Entry {
+	out := make([]Entry, 0, len(v))
+	for id, s := range v {
+		out = append(out, Entry{Node: id, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,114 @@
+// Package workload builds query workloads and formats experiment results.
+// The paper evaluates every configuration over 1000 uniformly random query
+// nodes and reports averages (Sect. 6, Test queries); QuerySet reproduces
+// that protocol at a configurable size.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastppv/internal/graph"
+)
+
+// QueryOptions configure query sampling.
+type QueryOptions struct {
+	// Count is the number of query nodes to draw.
+	Count int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// RequireOutEdges, when true, only samples nodes with at least one
+	// out-edge, so every query has a non-trivial neighbourhood.
+	RequireOutEdges bool
+}
+
+// QuerySet draws query nodes uniformly at random without replacement. If
+// fewer eligible nodes exist than requested, all eligible nodes are returned.
+func QuerySet(g *graph.Graph, opts QueryOptions) []graph.NodeID {
+	eligible := make([]graph.NodeID, 0, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		id := graph.NodeID(u)
+		if opts.RequireOutEdges && g.OutDegree(id) == 0 {
+			continue
+		}
+		eligible = append(eligible, id)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	if opts.Count < len(eligible) {
+		eligible = eligible[:opts.Count]
+	}
+	return eligible
+}
+
+// Table is a minimal text table used by the benchmark harness to print
+// paper-style result tables.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := ""
+	if t.Title != "" {
+		out += t.Title + "\n"
+	}
+	line := ""
+	for i, c := range t.Columns {
+		line += pad(c, widths[i]) + "  "
+	}
+	out += line + "\n"
+	for _, row := range t.Rows {
+		line = ""
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			line += pad(cell, w) + "  "
+		}
+		out += line + "\n"
+	}
+	return out
+}
+
+func pad(s string, width int) string {
+	for len(s) < width {
+		s += " "
+	}
+	return s
+}

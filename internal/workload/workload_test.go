@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"fastppv/internal/gen"
+	"fastppv/internal/graph"
+)
+
+func TestQuerySetSamplesWithoutReplacement(t *testing.T) {
+	g, err := gen.RandomDirected(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QuerySet(g, QueryOptions{Count: 30, Seed: 1})
+	if len(qs) != 30 {
+		t.Fatalf("QuerySet returned %d queries, want 30", len(qs))
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, q := range qs {
+		if seen[q] {
+			t.Fatalf("query %d sampled twice", q)
+		}
+		seen[q] = true
+		if !g.Valid(q) {
+			t.Fatalf("query %d out of range", q)
+		}
+	}
+	// Deterministic per seed.
+	again := QuerySet(g, QueryOptions{Count: 30, Seed: 1})
+	for i := range qs {
+		if qs[i] != again[i] {
+			t.Fatal("QuerySet is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestQuerySetRequireOutEdges(t *testing.T) {
+	b := graph.NewBuilder(true)
+	b.EnsureNodes(10)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	g := b.Finalize() // only nodes 0 and 1 have out-edges
+	qs := QuerySet(g, QueryOptions{Count: 10, Seed: 2, RequireOutEdges: true})
+	if len(qs) != 2 {
+		t.Fatalf("QuerySet returned %d queries, want the 2 nodes with out-edges", len(qs))
+	}
+	for _, q := range qs {
+		if g.OutDegree(q) == 0 {
+			t.Errorf("query %d has no out-edges", q)
+		}
+	}
+}
+
+func TestQuerySetCountLargerThanGraph(t *testing.T) {
+	g, err := gen.RandomDirected(10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QuerySet(g, QueryOptions{Count: 100, Seed: 1})
+	if len(qs) != 10 {
+		t.Fatalf("QuerySet returned %d queries, want all 10 nodes", len(qs))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("My title", "Name", "Value", "Ratio")
+	tab.AddRow("alpha", 12, 0.123456)
+	tab.AddRow("a-much-longer-name", "text", 1.0)
+	out := tab.String()
+	if !strings.Contains(out, "My title") {
+		t.Error("title missing from rendered table")
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("floats should render with 4 decimals, got:\n%s", out)
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("row cell missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+1+2 {
+		t.Errorf("rendered table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Header columns are padded to at least the widest cell in the column.
+	header := lines[1]
+	if !strings.HasPrefix(header, "Name") || !strings.Contains(header, "Value") {
+		t.Errorf("header line malformed: %q", header)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tab := NewTable("", "A")
+	out := tab.String()
+	if !strings.Contains(out, "A") {
+		t.Errorf("empty table should still render its header, got %q", out)
+	}
+}
