@@ -16,8 +16,13 @@ package fastppv
 // the ablations called out in DESIGN.md §4.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"sync/atomic"
 	"testing"
 
 	"fastppv/internal/core"
@@ -27,6 +32,7 @@ import (
 	"fastppv/internal/hub"
 	"fastppv/internal/pagerank"
 	"fastppv/internal/prime"
+	"fastppv/internal/server"
 	"fastppv/internal/workload"
 )
 
@@ -307,6 +313,65 @@ func BenchmarkPrimePPV(b *testing.B) {
 		if _, _, err := prime.ComputePPV(g, q, hubs, prime.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end HTTP serving throughput of
+// the query subsystem under a Zipfian-skewed workload: parallel clients hit
+// the cache, coalesce, or compute through the admission gate. Cache hit rate
+// and computation count are reported as custom metrics.
+func BenchmarkServerThroughput(b *testing.B) {
+	g := benchGraph(b)
+	engine := benchEngine(b, g)
+	srv, err := server.New(engine, server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 256}
+
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sampler, err := workload.NewZipfSampler(g.NumNodes(), workload.ZipfOptions{
+			Seed: seed.Add(1),
+		})
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=2&top=10", ts.URL, sampler.Next())
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	// Report how much work the cache absorbed via the stats endpoint.
+	resp, err := client.Get(ts.URL + "/v1/stats")
+	if err == nil {
+		var st struct {
+			Cache *struct {
+				Hits   float64 `json:"hits"`
+				Misses float64 `json:"misses"`
+			} `json:"cache"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&st) == nil && st.Cache != nil &&
+			st.Cache.Hits+st.Cache.Misses > 0 {
+			b.ReportMetric(st.Cache.Hits/(st.Cache.Hits+st.Cache.Misses), "hit-rate")
+		}
+		resp.Body.Close()
 	}
 }
 

@@ -1,0 +1,126 @@
+// Command fastppvd is the FastPPV serving daemon: it loads (or generates) a
+// graph, precomputes the hub index, and serves Personalized PageRank queries
+// over an HTTP JSON API with result caching, request coalescing and
+// accuracy-aware admission control.
+//
+//	fastppvd -graph g.txt -hubs 20000 -addr :8080
+//	fastppvd -social 60000 -addr :8080            # synthetic social graph
+//
+// Endpoints:
+//
+//	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
+//	POST /v1/ppv/batch                           answer a batch of queries
+//	POST /v1/update                              apply a graph update
+//	GET  /v1/stats                               serving + offline statistics
+//	GET  /healthz                                readiness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastppv"
+	"fastppv/internal/gen"
+	"fastppv/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fastppvd: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fastppvd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	graphPath := fs.String("graph", "", "graph file (edge list or binary); empty generates a synthetic graph")
+	social := fs.Int("social", 60000, "synthetic social graph size when -graph is empty")
+	seed := fs.Int64("seed", 7, "synthetic graph seed")
+	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
+	alpha := fs.Float64("alpha", fastppv.DefaultAlpha, "teleporting probability")
+	eta := fs.Int("eta", 2, "default online iterations per query")
+	maxEta := fs.Int("max-eta", 8, "largest eta a client may request")
+	degradedEta := fs.Int("degraded-eta", 0, "eta served under overload")
+	cacheMB := fs.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent full-accuracy computations (0 = GOMAXPROCS)")
+	queueWait := fs.Duration("queue-wait", 25*time.Millisecond, "max wait for a computation slot before degrading")
+	fs.Parse(args)
+
+	g, err := loadOrGenerate(*graphPath, *social, *seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("graph: %v", g.Stats())
+
+	engine, err := fastppv.New(g, fastppv.Options{NumHubs: *hubs, Alpha: *alpha})
+	if err != nil {
+		return err
+	}
+	log.Printf("precomputing hub index ...")
+	if err := engine.Precompute(); err != nil {
+		return err
+	}
+	off := engine.OfflineStats()
+	log.Printf("indexed %d hubs in %v (%.2f MB, %d entries)",
+		off.Hubs, off.Total.Round(time.Millisecond), float64(off.IndexBytes)/(1<<20), off.IndexEntries)
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	srv, err := server.New(engine, server.Config{
+		DefaultEta:    *eta,
+		MaxEta:        *maxEta,
+		DegradedEta:   *degradedEta,
+		CacheBytes:    cacheBytes,
+		MaxConcurrent: *maxConcurrent,
+		QueueWait:     *queueWait,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}
+
+// loadOrGenerate reads a graph file, or generates a deterministic synthetic
+// social graph when no file is given.
+func loadOrGenerate(path string, socialNodes int, seed int64) (*fastppv.Graph, error) {
+	if path != "" {
+		if g, err := fastppv.LoadBinaryFile(path); err == nil {
+			return g, nil
+		}
+		return fastppv.LoadEdgeListFile(path)
+	}
+	if socialNodes < 2 {
+		return nil, fmt.Errorf("need -graph or -social >= 2")
+	}
+	cfg := gen.DefaultSocialConfig()
+	cfg.Nodes = socialNodes
+	cfg.Seed = seed
+	return gen.SocialGraph(cfg)
+}

@@ -1,0 +1,210 @@
+// Command ppvload is a load generator for the fastppvd daemon: it replays a
+// Zipfian-skewed query workload against the HTTP API with a configurable
+// concurrency, then reports client-side throughput and latency percentiles
+// together with the server's own cache and admission statistics.
+//
+//	ppvload -addr http://localhost:8080 -requests 5000 -concurrency 16 -zipf 1.2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"fastppv/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppvload: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serverStats mirrors the slice of /v1/stats the client reports.
+type serverStats struct {
+	Graph struct {
+		Nodes int `json:"nodes"`
+	} `json:"graph"`
+	Cache *struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+	} `json:"cache"`
+	Admission struct {
+		Admitted int64 `json:"admitted"`
+		Degraded int64 `json:"degraded"`
+	} `json:"admission"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppvload", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the fastppvd daemon")
+	requests := fs.Int("requests", 2000, "total number of queries to send")
+	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
+	zipfS := fs.Float64("zipf", workload.DefaultZipfS, "Zipf exponent of the query skew (>1)")
+	eta := fs.Int("eta", 2, "online iterations per query")
+	top := fs.Int("top", 10, "ranked results per query")
+	seed := fs.Int64("seed", 1, "workload seed")
+	fs.Parse(args)
+	if *requests < 1 || *concurrency < 1 {
+		return fmt.Errorf("requests and concurrency must be positive")
+	}
+
+	before, err := fetchStats(*addr)
+	if err != nil {
+		return fmt.Errorf("fetching /v1/stats (is fastppvd running?): %w", err)
+	}
+	numNodes := before.Graph.Nodes
+	if numNodes < 1 {
+		return fmt.Errorf("server reports empty graph")
+	}
+	log.Printf("target %s: %d nodes; sending %d requests, concurrency %d, zipf %.2f",
+		*addr, numNodes, *requests, *concurrency, *zipfS)
+
+	type outcome struct {
+		latency  time.Duration
+		state    string // X-Fastppv-Cache
+		degraded bool
+		err      error
+	}
+	outcomes := make([]outcome, *requests)
+	var next int
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= *requests {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		sampler, err := workload.NewZipfSampler(numNodes, workload.ZipfOptions{
+			S:    *zipfS,
+			Seed: *seed + int64(w),
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				node := sampler.Next()
+				url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=%d&top=%d", *addr, node, *eta, *top)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				var body struct {
+					Degraded bool `json:"degraded"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				o := outcome{
+					latency:  time.Since(t0),
+					state:    resp.Header.Get("X-Fastppv-Cache"),
+					degraded: body.Degraded,
+				}
+				if resp.StatusCode != http.StatusOK {
+					o.err = fmt.Errorf("status %d", resp.StatusCode)
+				} else if decErr != nil {
+					o.err = decErr
+				}
+				outcomes[i] = o
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []time.Duration
+	states := map[string]int{}
+	failures, degraded := 0, 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			failures++
+			continue
+		}
+		latencies = append(latencies, o.latency)
+		states[o.state]++
+		if o.degraded {
+			degraded++
+		}
+	}
+	if len(latencies) == 0 {
+		return fmt.Errorf("all %d requests failed", *requests)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration {
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+
+	fmt.Printf("sent %d requests in %v: %.1f req/s (%d failed)\n",
+		*requests, elapsed.Round(time.Millisecond),
+		float64(len(latencies))/elapsed.Seconds(), failures)
+	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d\n",
+		states["hit"], states["miss"], states["coalesced"], degraded)
+
+	after, err := fetchStats(*addr)
+	if err != nil {
+		return err
+	}
+	if after.Cache != nil && before.Cache != nil {
+		hits := after.Cache.Hits - before.Cache.Hits
+		misses := after.Cache.Misses - before.Cache.Misses
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(hits) / float64(total)
+		}
+		fmt.Printf("server cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
+			rate*100, after.Cache.Entries, float64(after.Cache.Bytes)/(1<<20))
+	}
+	fmt.Printf("server admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
+		after.Admission.Admitted, after.Admission.Degraded, after.Coalesced)
+	return nil
+}
+
+func fetchStats(addr string) (*serverStats, error) {
+	resp, err := http.Get(addr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats returned %d", resp.StatusCode)
+	}
+	var st serverStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -1,0 +1,3 @@
+module fastppv
+
+go 1.24

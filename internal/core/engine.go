@@ -54,8 +54,8 @@ type Engine struct {
 	hubs  *hub.Set
 	index IndexStore
 
-	offline    OfflineStats
-	precomuted bool
+	offline     OfflineStats
+	precomputed bool
 }
 
 // NewEngine creates an engine over g with the given options, storing prime
@@ -89,6 +89,10 @@ func (e *Engine) Options() Options { return e.opts }
 
 // OfflineStats returns the statistics of the last Precompute run.
 func (e *Engine) OfflineStats() OfflineStats { return e.offline }
+
+// Precomputed reports whether Precompute has completed, i.e. the engine is
+// ready to answer queries. Long-lived servers use it as their readiness check.
+func (e *Engine) Precomputed() bool { return e.precomputed }
 
 // Precompute runs the offline phase (Algorithm 1): select |H| hubs by the
 // configured policy and compute and store the prime PPV of every hub. It can
@@ -125,7 +129,7 @@ func (e *Engine) Precompute() error {
 	e.offline.Total = time.Since(start)
 	e.offline.IndexBytes = e.index.SizeBytes()
 	e.offline.IndexEntries = ppvindex.StatsOf(e.index).TotalEntries
-	e.precomuted = true
+	e.precomputed = true
 	return nil
 }
 

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fastppv/internal/graph"
 	"fastppv/internal/prime"
+	"fastppv/internal/sparse"
 )
 
 // GraphUpdate describes a batch of edge insertions and deletions applied to
@@ -29,6 +31,14 @@ type UpdateStats struct {
 	AffectedHubs int
 	// UnaffectedHubs is the number of hubs whose indexed prime PPV was kept.
 	UnaffectedHubs int
+	// Recomputed lists the recomputed hubs in ascending order; result caches
+	// invalidate every cached answer that depends on one of them.
+	Recomputed []graph.NodeID
+	// TouchedNodes lists, in ascending order, the nodes whose outgoing
+	// transition behaviour changed. A cached answer whose estimate reaches one
+	// of these nodes may be stale even if it expanded no recomputed hub (its
+	// own prime PPV was computed on the fly over the old graph).
+	TouchedNodes []graph.NodeID
 	// Duration is the wall time of the whole update.
 	Duration time.Duration
 }
@@ -46,7 +56,7 @@ type UpdateStats struct {
 // Precompute for a full rebuild.
 func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 	var stats UpdateStats
-	if !e.precomuted {
+	if !e.precomputed {
 		return stats, fmt.Errorf("core: ApplyUpdate before Precompute")
 	}
 	start := time.Now()
@@ -70,8 +80,6 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 			touched[ed.To] = struct{}{}
 		}
 	}
-
-	e.g = newGraph
 
 	var affected []graph.NodeID
 	for _, h := range e.hubs.Hubs() {
@@ -97,19 +105,35 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 		}
 	}
 
+	// Stage every recomputation against the new graph before mutating any
+	// engine state, so a ComputePPV failure leaves the engine fully on the
+	// old graph and old index (the common failure; only an index write error
+	// during the commit below can still leave a partial update).
+	staged := make(map[graph.NodeID]sparse.Vector, len(affected))
 	for _, h := range affected {
-		ppv, _, err := prime.ComputePPV(e.g, h, e.hubs, e.opts.primeOptions())
+		ppv, _, err := prime.ComputePPV(newGraph, h, e.hubs, e.opts.primeOptions())
 		if err != nil {
 			return stats, fmt.Errorf("core: recomputing prime PPV of hub %d: %w", h, err)
 		}
 		if e.opts.Clip > 0 {
 			ppv.Clip(e.opts.Clip)
 		}
-		if err := e.index.Put(h, ppv); err != nil {
+		staged[h] = ppv
+	}
+	for _, h := range affected {
+		if err := e.index.Put(h, staged[h]); err != nil {
 			return stats, fmt.Errorf("core: re-indexing hub %d: %w", h, err)
 		}
 	}
+	e.g = newGraph
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	stats.AffectedHubs = len(affected)
+	stats.Recomputed = affected
+	stats.TouchedNodes = make([]graph.NodeID, 0, len(touched))
+	for t := range touched {
+		stats.TouchedNodes = append(stats.TouchedNodes, t)
+	}
+	sort.Slice(stats.TouchedNodes, func(i, j int) bool { return stats.TouchedNodes[i] < stats.TouchedNodes[j] })
 	stats.Duration = time.Since(start)
 	return stats, nil
 }

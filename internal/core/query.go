@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fastppv/internal/graph"
@@ -81,6 +82,16 @@ type QueryState struct {
 	iteration int
 	result    *Result
 	started   time.Time
+	// mass is the running total of the estimate, accumulated increment by
+	// increment in deterministic (node-ordered) summation order so the error
+	// bound 1-mass is byte-reproducible without re-summing the whole estimate
+	// on every Step.
+	mass float64
+	// deps records the hubs whose indexed prime PPV this query consumed
+	// (iteration 0 when the query node is a hub, plus every hub expanded by a
+	// Step). Result caches use it for targeted invalidation after a graph
+	// update: a cached answer is stale once any of these hubs is recomputed.
+	deps map[graph.NodeID]struct{}
 }
 
 // NewQuery starts incremental query processing for q and performs iteration 0
@@ -103,7 +114,7 @@ func (e *Engine) QueryOn(adj prime.Adjacency, q graph.NodeID, stop StopCondition
 
 // NewQueryOn is NewQuery over an alternative adjacency view (see QueryOn).
 func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, error) {
-	if !e.precomuted {
+	if !e.precomputed {
 		return nil, fmt.Errorf("core: Query before Precompute")
 	}
 	if q < 0 || int(q) >= adj.NumNodes() {
@@ -134,8 +145,12 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 		query:     q,
 		estimate:  estimate,
 		frontier:  make(map[graph.NodeID]float64),
+		deps:      make(map[graph.NodeID]struct{}),
 		started:   started,
 		iteration: 0,
+	}
+	if !computed {
+		qs.deps[q] = struct{}{}
 	}
 	// The frontier after iteration 0 is the hub entries of the query's prime
 	// PPV. If the query node is itself a hub, its self-entry includes the
@@ -153,7 +168,8 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 			qs.frontier[node] = w
 		}
 	}
-	bound := 1 - estimate.Sum()
+	qs.mass = estimate.SumOrdered()
+	bound := 1 - qs.mass
 	qs.result = &Result{
 		Query:            q,
 		Estimate:         estimate,
@@ -161,7 +177,7 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 		QueryPPVComputed: computed,
 		PerIteration: []IterationStat{{
 			Iteration:    0,
-			MassAdded:    estimate.Sum(),
+			MassAdded:    qs.mass,
 			L1ErrorBound: bound,
 			Duration:     time.Since(started),
 		}},
@@ -176,6 +192,22 @@ func (qs *QueryState) Result() *Result { return qs.result }
 
 // L1ErrorBound returns the current accuracy-aware error bound.
 func (qs *QueryState) L1ErrorBound() float64 { return qs.result.L1ErrorBound }
+
+// Iteration returns the number of Steps applied so far (0 right after
+// NewQuery). Serving layers use it to report how far a degraded answer got.
+func (qs *QueryState) Iteration() int { return qs.iteration }
+
+// HubDeps returns, in ascending order, the hubs whose indexed prime PPV this
+// query has consumed so far. A cached result derived from this state must be
+// invalidated when any of these hubs' prime PPVs is recomputed.
+func (qs *QueryState) HubDeps() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(qs.deps))
+	for h := range qs.deps {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Exhausted reports whether no extendable hubs remain, i.e. further Steps
 // cannot improve the estimate.
@@ -198,7 +230,17 @@ func (qs *QueryState) Step() IterationStat {
 
 	increment := sparse.New(len(qs.estimate))
 	nextFrontier := make(map[graph.NodeID]float64)
-	for h, prefix := range qs.frontier {
+	// Expand border hubs in ascending order so that floating-point
+	// accumulation is deterministic: two queries at the same eta return
+	// entry-wise identical estimates, which lets serving-layer caches promise
+	// byte-identical cached responses.
+	hubsInFrontier := make([]graph.NodeID, 0, len(qs.frontier))
+	for h := range qs.frontier {
+		hubsInFrontier = append(hubsInFrontier, h)
+	}
+	sort.Slice(hubsInFrontier, func(i, j int) bool { return hubsInFrontier[i] < hubsInFrontier[j] })
+	for _, h := range hubsInFrontier {
+		prefix := qs.frontier[h]
 		if prefix <= e.opts.Delta {
 			stat.HubsSkipped++
 			continue
@@ -218,6 +260,7 @@ func (qs *QueryState) Step() IterationStat {
 		// excluding h's empty tour (an extension must advance the walk).
 		ext := prime.ExtensionVector(hubPPV, h, e.opts.Alpha)
 		increment.AddScaled(ext, prefix/e.opts.Alpha)
+		qs.deps[h] = struct{}{}
 		stat.HubsExpanded++
 	}
 
@@ -229,8 +272,9 @@ func (qs *QueryState) Step() IterationStat {
 	}
 	qs.frontier = nextFrontier
 
-	stat.MassAdded = increment.Sum()
-	stat.L1ErrorBound = 1 - qs.estimate.Sum()
+	stat.MassAdded = increment.SumOrdered()
+	qs.mass += stat.MassAdded
+	stat.L1ErrorBound = 1 - qs.mass
 	stat.Duration = time.Since(iterStart)
 
 	qs.result.Iterations = qs.iteration

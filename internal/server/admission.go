@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// serviceLevel is the admission decision for one computation.
+type serviceLevel int
+
+const (
+	// svcFull grants a full-accuracy computation slot.
+	svcFull serviceLevel = iota
+	// svcDegraded grants a slot on the cheap degradation path.
+	svcDegraded
+	// svcShed admits nothing: even the degraded pool is saturated and the
+	// request is rejected so the server's work stays bounded.
+	svcShed
+)
+
+// admission is the bounded worker pool in front of the engine. At most
+// maxConcurrent full-accuracy computations run at once; a request that cannot
+// get a slot within queueWait is downgraded to the degradation pool (a
+// low-eta answer whose L1 error bound is still reported exactly). The
+// degradation pool is itself bounded — iteration 0 of a cold non-hub query
+// still computes a prime PPV, so unbounded degraded work would defeat the
+// gate — and when both pools are full the request is shed with 503 instead of
+// queueing.
+type admission struct {
+	slots         chan struct{}
+	degradedSlots chan struct{}
+	queueWait     time.Duration
+
+	admitted atomic.Int64
+	degraded atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxConcurrent int, queueWait time.Duration) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	degradedCap := 4 * maxConcurrent
+	if degradedCap < 8 {
+		degradedCap = 8
+	}
+	return &admission{
+		slots:         make(chan struct{}, maxConcurrent),
+		degradedSlots: make(chan struct{}, degradedCap),
+		queueWait:     queueWait,
+	}
+}
+
+// acquire decides the service level for one computation; the caller must
+// release the returned level (svcShed holds nothing).
+func (a *admission) acquire() serviceLevel {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return svcFull
+	default:
+	}
+	if a.queueWait > 0 {
+		t := time.NewTimer(a.queueWait)
+		defer t.Stop()
+		select {
+		case a.slots <- struct{}{}:
+			a.admitted.Add(1)
+			return svcFull
+		case <-t.C:
+		}
+	}
+	select {
+	case a.degradedSlots <- struct{}{}:
+		a.degraded.Add(1)
+		return svcDegraded
+	default:
+	}
+	a.shed.Add(1)
+	return svcShed
+}
+
+func (a *admission) release(level serviceLevel) {
+	switch level {
+	case svcFull:
+		<-a.slots
+	case svcDegraded:
+		<-a.degradedSlots
+	}
+}
+
+// AdmissionStats is a point-in-time summary of the admission gate.
+type AdmissionStats struct {
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxDegraded      int   `json:"max_degraded"`
+	InFlight         int   `json:"in_flight"`
+	InFlightDegraded int   `json:"in_flight_degraded"`
+	Admitted         int64 `json:"admitted"`
+	Degraded         int64 `json:"degraded"`
+	Shed             int64 `json:"shed"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		MaxConcurrent:    cap(a.slots),
+		MaxDegraded:      cap(a.degradedSlots),
+		InFlight:         len(a.slots),
+		InFlightDegraded: len(a.degradedSlots),
+		Admitted:         a.admitted.Load(),
+		Degraded:         a.degraded.Load(),
+		Shed:             a.shed.Load(),
+	}
+}

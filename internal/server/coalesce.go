@@ -1,0 +1,68 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent identical requests: while a computation
+// for a key is in flight, later arrivals for the same key block on it and
+// share its answer instead of recomputing. This is the request-collapsing
+// half of the serving layer — under a skewed workload a popular query that
+// misses the cache is still computed once, not once per concurrent caller.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[CacheKey]*flightCall
+	coalesced atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	ans  *cachedAnswer
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[CacheKey]*flightCall)}
+}
+
+// Do runs fn for key, ensuring only one execution is in flight per key at a
+// time. The boolean reports whether this caller shared another caller's
+// computation instead of running fn itself.
+//
+// fn receives an idempotent unregister callback that removes the flight from
+// the group early. The server calls it while still holding the engine read
+// lock: once a graph update acquires the write lock, no completed pre-update
+// flight is joinable any more, so a request arriving after an update can
+// never coalesce onto a stale answer. (Followers that joined earlier arrived
+// before the update completed, so sharing the pre-update answer with them is
+// consistent.) Do also unregisters after fn returns as a safety net.
+func (g *flightGroup) Do(key CacheKey, fn func(unregister func()) (*cachedAnswer, error)) (*cachedAnswer, bool, error) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		g.coalesced.Add(1)
+		return call.ans, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	unregister := func() {
+		g.mu.Lock()
+		if g.calls[key] == call {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+	}
+	call.ans, call.err = fn(unregister)
+	unregister()
+	close(call.done)
+
+	return call.ans, false, call.err
+}
+
+// Coalesced returns how many requests were answered by sharing an in-flight
+// computation.
+func (g *flightGroup) Coalesced() int64 { return g.coalesced.Load() }

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalesces verifies that concurrent identical requests share
+// one in-flight computation. The leader blocks inside fn on a gate while the
+// followers arrive; every caller that joined the flight must observe the
+// leader's answer, and executions + coalesced must account for every caller.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var executions atomic.Int64
+
+	want := fakeAnswer(10)
+	// Both the leader and any follower that (unluckily) becomes its own
+	// leader run the same gated fn, so results are identical either way and
+	// the accounting identity below is exact.
+	blockingFn := func(signal chan<- struct{}) func(func()) (*cachedAnswer, error) {
+		return func(func()) (*cachedAnswer, error) {
+			executions.Add(1)
+			if signal != nil {
+				close(signal)
+			}
+			<-gate
+			return want, nil
+		}
+	}
+
+	const callers = 17
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ans, _, err := g.Do(key(1), blockingFn(leaderIn))
+		if err != nil || ans != want {
+			t.Errorf("leader: ans=%v err=%v", ans, err)
+		}
+	}()
+	<-leaderIn // the computation is provably in flight
+
+	entered := make(chan struct{}, callers-1)
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered <- struct{}{}
+			ans, sh, err := g.Do(key(1), blockingFn(nil))
+			if err != nil || ans != want {
+				t.Errorf("follower %d: ans=%v err=%v", i, ans, err)
+			}
+			if sh {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	for i := 1; i < callers; i++ {
+		<-entered
+	}
+	// Give the followers a moment to reach the flight group before opening
+	// the gate; any straggler simply runs the same gated fn and is counted by
+	// the executions/coalesced identity.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got, want := executions.Load()+sharedCount.Load(), int64(callers); got != want {
+		t.Fatalf("executions %d + shared %d = %d, want %d callers",
+			executions.Load(), sharedCount.Load(), got, want)
+	}
+	if sharedCount.Load() == 0 {
+		t.Fatal("no request was coalesced despite a gated in-flight leader")
+	}
+	if g.Coalesced() != sharedCount.Load() {
+		t.Fatalf("Coalesced() = %d, want %d", g.Coalesced(), sharedCount.Load())
+	}
+}
+
+// TestFlightGroupDistinctKeys verifies independent keys do not serialize or
+// cross answers.
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	g := newFlightGroup()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, sh, err := g.Do(key(i), func(func()) (*cachedAnswer, error) {
+				return fakeAnswer(int64(i + 1)), nil
+			})
+			if err != nil || sh {
+				t.Errorf("key %d: err=%v shared=%v", i, err, sh)
+			}
+			if ans.bytes != int64(i+1) {
+				t.Errorf("key %d: got answer for another key", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Coalesced() != 0 {
+		t.Errorf("Coalesced() = %d, want 0", g.Coalesced())
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations in [2^i, 2^(i+1)) microseconds, so the histogram spans 1µs to
+// about 67s with constant relative error.
+const histBuckets = 27
+
+// Histogram is a lock-free log-scale latency histogram. Observe is safe for
+// concurrent use from request handlers.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.counts[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot summarizes a histogram for the stats endpoint. Quantiles
+// are upper bounds taken from the bucket boundaries.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Snapshot computes a consistent-enough view of the histogram (counters are
+// read individually; under concurrent writes the quantiles are approximate,
+// which is all a stats endpoint needs).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sumNS.Load()) / float64(s.Count) / 1e6
+	s.MaxMS = float64(h.maxNS.Load()) / 1e6
+
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) float64 {
+		target := int64(q * float64(total))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				// Upper edge of bucket i in milliseconds.
+				return float64(int64(1)<<(i+1)) / 1e3
+			}
+		}
+		return s.MaxMS
+	}
+	s.P50MS = quantile(0.50)
+	s.P90MS = quantile(0.90)
+	s.P99MS = quantile(0.99)
+	return s
+}

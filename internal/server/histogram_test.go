@@ -1,0 +1,58 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("empty snapshot count = %d", s.Count)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.MeanMS < 1 || s.MeanMS > 100 {
+		t.Errorf("mean %.3fms outside (1,100)", s.MeanMS)
+	}
+	if s.MaxMS < 100 {
+		t.Errorf("max %.3fms, want >= 100", s.MaxMS)
+	}
+	// p50 sits in the 1ms bucket (upper bound 2ms); p99 in the 100ms bucket.
+	if s.P50MS > 4 {
+		t.Errorf("p50 %.3fms, want about 1-2ms", s.P50MS)
+	}
+	if s.P99MS < 64 {
+		t.Errorf("p99 %.3fms, want >= 64ms", s.P99MS)
+	}
+	if s.P50MS > s.P90MS || s.P90MS > s.P99MS {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}

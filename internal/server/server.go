@@ -1,0 +1,685 @@
+// Package server is the online query-serving subsystem of the FastPPV
+// reproduction: a long-lived HTTP front end over a precomputed core.Engine.
+//
+// The engine answers one query at a time as fast as scheduled approximation
+// allows; this package adds the layers a production deployment needs on top:
+//
+//   - a sharded LRU result cache with a byte budget, keyed by the query node
+//     and the accuracy knobs (eta, target error), so skewed workloads are
+//     served from memory;
+//   - request coalescing, so concurrent identical queries share a single
+//     engine computation instead of stampeding;
+//   - admission control with graceful degradation: at most MaxConcurrent
+//     full-accuracy computations run at once, and an overloaded server
+//     answers with a cheaper low-eta estimate whose L1 error bound is still
+//     reported exactly, instead of queueing unboundedly;
+//   - incremental graph updates with targeted cache invalidation driven by
+//     the hub dependencies each cached answer recorded;
+//   - per-endpoint latency histograms and a stats endpoint.
+//
+// Response bodies are a deterministic function of the query parameters and
+// the graph state: the engine expands border hubs in a fixed order, so a
+// cached or coalesced response is byte-identical to a cold computation at the
+// same eta. Volatile serving metadata (cache disposition, compute time)
+// travels in X-Fastppv-* headers, never in the body.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastppv/internal/core"
+	"fastppv/internal/graph"
+)
+
+// Config tunes the serving layers. The zero value serves with sensible
+// defaults for a mid-sized graph.
+type Config struct {
+	// DefaultEta is the number of online iterations used when a request does
+	// not specify eta; zero means core.DefaultIterations.
+	DefaultEta int
+	// MaxEta caps the eta a client may request; zero means 8.
+	MaxEta int
+	// DegradedEta is the eta served on the degradation path under overload;
+	// it should be small (the default 0 serves iteration 0 only).
+	DegradedEta int
+	// DefaultTopK and MaxTopK bound the number of ranked results returned;
+	// zero means 10 and 1000.
+	DefaultTopK int
+	MaxTopK     int
+	// CacheBytes is the result cache budget; zero means 64 MiB. Negative
+	// disables caching.
+	CacheBytes int64
+	// CacheShards is the number of cache shards; zero means 16.
+	CacheShards int
+	// MaxConcurrent bounds concurrent full-accuracy computations; zero means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// QueueWait is how long a request waits for a computation slot before
+	// being served degraded; zero means 25ms. Negative means no waiting.
+	QueueWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultEta == 0 {
+		c.DefaultEta = core.DefaultIterations
+	}
+	if c.MaxEta == 0 {
+		c.MaxEta = 8
+	}
+	if c.DefaultEta > c.MaxEta {
+		c.DefaultEta = c.MaxEta
+	}
+	if c.DegradedEta < 0 {
+		c.DegradedEta = 0
+	}
+	if c.DegradedEta > c.MaxEta {
+		c.DegradedEta = c.MaxEta
+	}
+	if c.DefaultTopK == 0 {
+		c.DefaultTopK = 10
+	}
+	if c.MaxTopK == 0 {
+		c.MaxTopK = 1000
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 25 * time.Millisecond
+	}
+	if c.QueueWait < 0 {
+		c.QueueWait = 0
+	}
+	return c
+}
+
+// Server wraps a precomputed engine with the serving layers. Create one with
+// New and mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	engine  *core.Engine
+	cache   *Cache
+	flights *flightGroup
+	adm     *admission
+
+	// mu guards the engine: queries hold the read lock, ApplyUpdate holds the
+	// write lock (it swaps the graph and rewrites index entries in place).
+	// Cache fills happen under the read lock too, so an update's invalidation
+	// sweep can never race with a stale fill.
+	mu sync.RWMutex
+
+	hists   map[string]*Histogram
+	started time.Time
+	updates atomic.Int64
+	// inconsistent is set when an ApplyUpdate fails after the point of no
+	// return: the engine may mix old and new state, so health checks flip to
+	// failing until an operator intervenes (restart or full Precompute).
+	inconsistent atomic.Bool
+}
+
+// New creates a Server over engine, which must already be precomputed.
+func New(engine *core.Engine, cfg Config) (*Server, error) {
+	if engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	if !engine.Precomputed() {
+		return nil, errors.New("server: engine not precomputed")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		engine:  engine,
+		flights: newFlightGroup(),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueWait),
+		hists: map[string]*Histogram{
+			"ppv":    {},
+			"batch":  {},
+			"update": {},
+			"stats":  {},
+		},
+		started: time.Now(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = NewCache(cfg.CacheBytes, cfg.CacheShards)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler exposing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ppv", s.instrument("ppv", s.handlePPV))
+	mux.HandleFunc("POST /v1/ppv/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// instrument records per-endpoint latency into the named histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.hists[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
+}
+
+// ScoredNode is one ranked result entry.
+type ScoredNode struct {
+	Node  int     `json:"node"`
+	Label string  `json:"label,omitempty"`
+	Score float64 `json:"score"`
+}
+
+// QueryResponse is the body of a query answer. It is a deterministic function
+// of (node, eta, target error, top, graph state); serving metadata lives in
+// response headers instead.
+type QueryResponse struct {
+	Node         int          `json:"node"`
+	RequestedEta int          `json:"requested_eta"`
+	Iterations   int          `json:"iterations"`
+	Degraded     bool         `json:"degraded,omitempty"`
+	L1ErrorBound float64      `json:"l1_error_bound"`
+	Results      []ScoredNode `json:"results"`
+}
+
+// queryRequest is one parsed and clamped query.
+type queryRequest struct {
+	node        graph.NodeID
+	eta         int
+	targetError float64
+	top         int
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) parseQuery(q map[string]string) (queryRequest, error) {
+	var req queryRequest
+	nodeStr, ok := q["node"]
+	if !ok || nodeStr == "" {
+		return req, badRequest("missing node parameter")
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return req, badRequest("bad node %q", nodeStr)
+	}
+	req.node = graph.NodeID(node)
+
+	req.eta = s.cfg.DefaultEta
+	if v, ok := q["eta"]; ok && v != "" {
+		req.eta, err = strconv.Atoi(v)
+		if err != nil || req.eta < 0 {
+			return req, badRequest("bad eta %q", v)
+		}
+		if req.eta > s.cfg.MaxEta {
+			req.eta = s.cfg.MaxEta
+		}
+	}
+	if v, ok := q["target-error"]; ok && v != "" {
+		req.targetError, err = strconv.ParseFloat(v, 64)
+		// Reject NaN explicitly: a NaN inside CacheKey never equals itself,
+		// so it would poison every map the key passes through (cache shards,
+		// flight group) with unreachable, unremovable entries.
+		if err != nil || math.IsNaN(req.targetError) || math.IsInf(req.targetError, 0) || req.targetError < 0 {
+			return req, badRequest("bad target-error %q", v)
+		}
+	}
+	req.top = s.cfg.DefaultTopK
+	if v, ok := q["top"]; ok && v != "" {
+		req.top, err = strconv.Atoi(v)
+		if err != nil || req.top < 1 {
+			return req, badRequest("bad top %q", v)
+		}
+		if req.top > s.cfg.MaxTopK {
+			req.top = s.cfg.MaxTopK
+		}
+	}
+
+	s.mu.RLock()
+	n := s.engine.Graph().NumNodes()
+	s.mu.RUnlock()
+	if req.node < 0 || int(req.node) >= n {
+		return req, badRequest("node %d outside [0,%d)", req.node, n)
+	}
+	return req, nil
+}
+
+// cacheState describes how a request was answered, reported in the
+// X-Fastppv-Cache header.
+type cacheState string
+
+const (
+	cacheHit       cacheState = "hit"
+	cacheMiss      cacheState = "miss"
+	cacheCoalesced cacheState = "coalesced"
+	cacheBypass    cacheState = "bypass"
+)
+
+// answer resolves a query through the cache, the flight group and finally the
+// engine.
+func (s *Server) answer(req queryRequest) (*cachedAnswer, cacheState, error) {
+	key := CacheKey{Node: req.node, Eta: req.eta, TargetError: req.targetError}
+	if s.cache != nil {
+		if ans, ok := s.cache.Get(key); ok {
+			return ans, cacheHit, nil
+		}
+	}
+	ans, shared, err := s.flights.Do(key, func(unregister func()) (*cachedAnswer, error) {
+		return s.compute(key, unregister)
+	})
+	if err != nil {
+		return nil, cacheMiss, err
+	}
+	state := cacheMiss
+	if shared {
+		state = cacheCoalesced
+	}
+	if s.cache == nil {
+		state = cacheBypass
+	}
+	return ans, state, nil
+}
+
+// compute runs one engine query under admission control. Requests that cannot
+// get a full-service slot are degraded to DegradedEta iterations (degraded
+// answers are returned but never cached); when even the degraded pool is full
+// the request is shed with 503. The flight is unregistered while the engine
+// read lock is still held, so a request arriving after a graph update can
+// never join a pre-update computation.
+func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error) {
+	level := s.adm.acquire()
+	if level == svcShed {
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "overloaded: admission and degradation pools are full"}
+	}
+	defer s.adm.release(level)
+	eta := key.Eta
+	degraded := false
+	if level == svcDegraded && s.cfg.DegradedEta < eta {
+		eta = s.cfg.DegradedEta
+		degraded = true
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	qs, err := s.engine.NewQuery(key.Node)
+	if err != nil {
+		return nil, err
+	}
+	res := qs.Run(core.StopCondition{MaxIterations: eta, TargetL1Error: key.TargetError})
+	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
+	if s.cache != nil && !degraded {
+		s.cache.Put(key, ans)
+	}
+	unregister()
+	return ans, nil
+}
+
+// render builds the deterministic response body from an answer.
+func (s *Server) render(req queryRequest, ans *cachedAnswer) QueryResponse {
+	s.mu.RLock()
+	g := s.engine.Graph()
+	top := ans.result.TopK(req.top)
+	resp := QueryResponse{
+		Node:         int(req.node),
+		RequestedEta: req.eta,
+		Iterations:   ans.result.Iterations,
+		Degraded:     ans.degraded,
+		L1ErrorBound: ans.result.L1ErrorBound,
+		Results:      make([]ScoredNode, 0, len(top)),
+	}
+	hasLabels := g.HasLabels()
+	for _, e := range top {
+		sn := ScoredNode{Node: int(e.Node), Score: e.Score}
+		if hasLabels && int(e.Node) < g.NumNodes() {
+			sn.Label = g.Label(e.Node)
+		}
+		resp.Results = append(resp.Results, sn)
+	}
+	s.mu.RUnlock()
+	return resp
+}
+
+func (s *Server) handlePPV(w http.ResponseWriter, r *http.Request) {
+	params := map[string]string{}
+	for _, k := range []string{"node", "eta", "target-error", "top"} {
+		if v := r.URL.Query().Get(k); v != "" {
+			params[k] = v
+		}
+	}
+	req, err := s.parseQuery(params)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ans, state, err := s.answer(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Fastppv-Cache", string(state))
+	w.Header().Set("X-Fastppv-Compute-Ms",
+		strconv.FormatFloat(float64(ans.result.Duration)/1e6, 'f', 3, 64))
+	writeJSON(w, http.StatusOK, s.render(req, ans))
+}
+
+// BatchRequest is the body of POST /v1/ppv/batch.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchQuery is one query of a batch; zero-valued knobs fall back to the
+// server defaults.
+type BatchQuery struct {
+	Node        int     `json:"node"`
+	Eta         *int    `json:"eta,omitempty"`
+	TargetError float64 `json:"target_error,omitempty"`
+	Top         int     `json:"top,omitempty"`
+}
+
+// BatchResponse is the body answering a batch: one entry per query, in order.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// maxBatchQueries bounds a single batch so one request cannot monopolize the
+// server.
+const maxBatchQueries = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		writeError(w, badRequest("bad batch body: %v", err))
+		return
+	}
+	if len(breq.Queries) == 0 {
+		writeError(w, badRequest("empty batch"))
+		return
+	}
+	if len(breq.Queries) > maxBatchQueries {
+		writeError(w, badRequest("batch of %d exceeds limit %d", len(breq.Queries), maxBatchQueries))
+		return
+	}
+	resp := BatchResponse{Results: make([]QueryResponse, 0, len(breq.Queries))}
+	for _, bq := range breq.Queries {
+		params := map[string]string{"node": strconv.Itoa(bq.Node)}
+		if bq.Eta != nil {
+			params["eta"] = strconv.Itoa(*bq.Eta)
+		}
+		if bq.TargetError > 0 {
+			params["target-error"] = strconv.FormatFloat(bq.TargetError, 'g', -1, 64)
+		}
+		if bq.Top > 0 {
+			params["top"] = strconv.Itoa(bq.Top)
+		}
+		req, err := s.parseQuery(params)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ans, _, err := s.answer(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Results = append(resp.Results, s.render(req, ans))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// UpdateRequest is the body of POST /v1/update: batches of edges to add and
+// remove, each edge a [from, to] pair. Pairs are decoded as slices so that a
+// wrong-length entry is rejected instead of being zero-filled.
+type UpdateRequest struct {
+	AddedEdges   [][]int `json:"added_edges,omitempty"`
+	RemovedEdges [][]int `json:"removed_edges,omitempty"`
+	NumNodes     int     `json:"num_nodes,omitempty"`
+}
+
+// parseEdges validates that every entry is a [from, to] pair with both
+// endpoints inside [0, numNodes). Validating here keeps client mistakes out
+// of ApplyUpdate, so an ApplyUpdate error below is a genuine server-side
+// failure.
+func parseEdges(field string, pairs [][]int, numNodes int) ([]graph.Edge, error) {
+	edges := make([]graph.Edge, 0, len(pairs))
+	for i, p := range pairs {
+		if len(p) != 2 {
+			return nil, badRequest("%s[%d]: edge must be a [from, to] pair, got %d elements", field, i, len(p))
+		}
+		if p[0] < 0 || p[0] >= numNodes || p[1] < 0 || p[1] >= numNodes {
+			return nil, badRequest("%s[%d]: edge (%d,%d) outside [0,%d)", field, i, p[0], p[1], numNodes)
+		}
+		edges = append(edges, graph.Edge{From: graph.NodeID(p[0]), To: graph.NodeID(p[1])})
+	}
+	return edges, nil
+}
+
+// UpdateResponse reports what an update did.
+type UpdateResponse struct {
+	AffectedHubs   int     `json:"affected_hubs"`
+	UnaffectedHubs int     `json:"unaffected_hubs"`
+	Invalidated    int     `json:"invalidated"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var ureq UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&ureq); err != nil {
+		writeError(w, badRequest("bad update body: %v", err))
+		return
+	}
+	if len(ureq.AddedEdges) == 0 && len(ureq.RemovedEdges) == 0 && ureq.NumNodes == 0 {
+		writeError(w, badRequest("empty update"))
+		return
+	}
+	if ureq.NumNodes < 0 {
+		writeError(w, badRequest("negative num_nodes"))
+		return
+	}
+	upd := core.GraphUpdate{NumNodes: ureq.NumNodes}
+
+	s.mu.Lock()
+	numNodes := s.engine.Graph().NumNodes()
+	if ureq.NumNodes > numNodes {
+		numNodes = ureq.NumNodes
+	}
+	var err error
+	if upd.AddedEdges, err = parseEdges("added_edges", ureq.AddedEdges, numNodes); err == nil {
+		upd.RemovedEdges, err = parseEdges("removed_edges", ureq.RemovedEdges, numNodes)
+	}
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, err)
+		return
+	}
+	stats, err := s.engine.ApplyUpdate(upd)
+	var invalidated int
+	if err == nil {
+		invalidated = s.invalidateLocked(stats)
+		s.updates.Add(1)
+	} else {
+		// ApplyUpdate stages recomputation before committing, so most errors
+		// leave the engine untouched — but an index write error during the
+		// commit can leave it mixing old and new state. Drop every cached
+		// answer and fail health checks so a load balancer rotates this
+		// replica out instead of serving silently wrong scores.
+		s.inconsistent.Store(true)
+		if s.cache != nil {
+			invalidated = s.cache.Invalidate(func(CacheKey, *cachedAnswer) bool { return true })
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, fmt.Errorf("update failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		AffectedHubs:   stats.AffectedHubs,
+		UnaffectedHubs: stats.UnaffectedHubs,
+		Invalidated:    invalidated,
+		DurationMS:     float64(stats.Duration) / 1e6,
+	})
+}
+
+// invalidateLocked drops exactly the cached answers an update can have made
+// stale: answers that expanded a recomputed hub, answers for a query node
+// whose out-edges changed, and answers whose estimate reaches a touched node
+// (their on-the-fly prime PPV crossed the modified region). Called with the
+// write lock held, so no stale fill can interleave.
+func (s *Server) invalidateLocked(stats core.UpdateStats) int {
+	if s.cache == nil {
+		return 0
+	}
+	recomputed := make(map[graph.NodeID]struct{}, len(stats.Recomputed))
+	for _, h := range stats.Recomputed {
+		recomputed[h] = struct{}{}
+	}
+	touched := make(map[graph.NodeID]struct{}, len(stats.TouchedNodes))
+	for _, t := range stats.TouchedNodes {
+		touched[t] = struct{}{}
+	}
+	return s.cache.Invalidate(func(k CacheKey, ans *cachedAnswer) bool {
+		if _, ok := touched[k.Node]; ok {
+			return true
+		}
+		for _, h := range ans.deps {
+			if _, ok := recomputed[h]; ok {
+				return true
+			}
+		}
+		// Estimate-reaches-touched-node check: iterate whichever side is
+		// smaller, so a bulk update against a full cache stays bounded by the
+		// estimate sizes rather than entries x touched nodes.
+		if len(ans.result.Estimate) < len(touched) {
+			for node := range ans.result.Estimate {
+				if _, ok := touched[node]; ok {
+					return true
+				}
+			}
+			return false
+		}
+		for t := range touched {
+			if ans.result.Estimate.Get(t) != 0 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// GraphInfo summarizes the served graph.
+type GraphInfo struct {
+	Nodes    int  `json:"nodes"`
+	Edges    int  `json:"edges"`
+	Directed bool `json:"directed"`
+}
+
+// OfflineInfo summarizes the offline precomputation behind the index.
+type OfflineInfo struct {
+	Hubs           int     `json:"hubs"`
+	HubSelectionMS float64 `json:"hub_selection_ms"`
+	PrimePPVMS     float64 `json:"prime_ppv_ms"`
+	TotalMS        float64 `json:"total_ms"`
+	IndexBytes     int64   `json:"index_bytes"`
+	IndexEntries   int64   `json:"index_entries"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds  float64                      `json:"uptime_seconds"`
+	Graph          GraphInfo                    `json:"graph"`
+	Offline        OfflineInfo                  `json:"offline"`
+	Cache          *CacheStats                  `json:"cache,omitempty"`
+	Admission      AdmissionStats               `json:"admission"`
+	Coalesced      int64                        `json:"coalesced"`
+	UpdatesApplied int64                        `json:"updates_applied"`
+	Endpoints      map[string]HistogramSnapshot `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	g := s.engine.Graph()
+	off := s.engine.OfflineStats()
+	info := GraphInfo{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.Directed()}
+	s.mu.RUnlock()
+
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Graph:         info,
+		Offline: OfflineInfo{
+			Hubs:           off.Hubs,
+			HubSelectionMS: float64(off.HubSelection) / 1e6,
+			PrimePPVMS:     float64(off.PrimePPV) / 1e6,
+			TotalMS:        float64(off.Total) / 1e6,
+			IndexBytes:     off.IndexBytes,
+			IndexEntries:   off.IndexEntries,
+		},
+		Admission:      s.adm.stats(),
+		Coalesced:      s.flights.Coalesced(),
+		UpdatesApplied: s.updates.Load(),
+		Endpoints:      make(map[string]HistogramSnapshot, len(s.hists)),
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
+	for name, h := range s.hists {
+		resp.Endpoints[name] = h.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.inconsistent.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"status": "inconsistent",
+			"reason": "a graph update failed mid-commit; restart or re-precompute",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":      "ok",
+		"precomputed": s.engine.Precomputed(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var herr *httpError
+	if errors.As(err, &herr) {
+		status = herr.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -114,6 +114,23 @@ func (v Vector) Sum() float64 {
 	return total
 }
 
+// SumOrdered returns the same total as Sum but accumulates entries in
+// ascending node order, so the floating-point result is identical across
+// calls on equal vectors. The accuracy-aware error bound reported to serving
+// clients is computed with it, making query responses byte-reproducible.
+func (v Vector) SumOrdered() float64 {
+	ids := make([]graph.NodeID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var total float64
+	for _, id := range ids {
+		total += v[id]
+	}
+	return total
+}
+
 // L1Distance returns the L1 distance between v and other.
 func (v Vector) L1Distance(other Vector) float64 {
 	var total float64
