@@ -6,6 +6,16 @@
 //	fastppvd -graph g.txt -hubs 20000 -addr :8080
 //	fastppvd -social 60000 -addr :8080            # synthetic social graph
 //
+// With -index the hub index lives on disk instead of in memory — the paper's
+// Sect. 5.3 disk-based configuration, for indexes larger than RAM. An
+// existing index file (e.g. built by `fastppv precompute`) is opened and
+// served immediately without redoing the offline phase; a missing one is
+// precomputed first. Reads go through a byte-budgeted hub-block cache
+// (-block-cache-bytes) whose counters appear under "block_cache" in
+// /v1/stats:
+//
+//	fastppvd -graph g.txt -index idx.ppv -block-cache-bytes 134217728
+//
 // Endpoints:
 //
 //	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
@@ -46,6 +56,8 @@ func run(args []string) error {
 	social := fs.Int("social", 60000, "synthetic social graph size when -graph is empty")
 	seed := fs.Int64("seed", 7, "synthetic graph seed")
 	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
+	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
+	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
 	alpha := fs.Float64("alpha", fastppv.DefaultAlpha, "teleporting probability")
 	eta := fs.Int("eta", 2, "default online iterations per query")
 	maxEta := fs.Int("max-eta", 8, "largest eta a client may request")
@@ -61,17 +73,31 @@ func run(args []string) error {
 	}
 	log.Printf("graph: %v", g.Stats())
 
-	engine, err := fastppv.New(g, fastppv.Options{NumHubs: *hubs, Alpha: *alpha})
-	if err != nil {
-		return err
+	opts := fastppv.Options{NumHubs: *hubs, Alpha: *alpha}
+	var engine *fastppv.Engine
+	if *indexPath != "" {
+		var closeIndex func() error
+		engine, closeIndex, err = openOrBuildDiskIndex(g, opts, *indexPath, *blockCacheBytes)
+		if err != nil {
+			return err
+		}
+		defer closeIndex()
+		off := engine.OfflineStats()
+		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s)",
+			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes))
+	} else {
+		engine, err = fastppv.New(g, opts)
+		if err != nil {
+			return err
+		}
+		log.Printf("precomputing hub index ...")
+		if err := engine.Precompute(); err != nil {
+			return err
+		}
+		off := engine.OfflineStats()
+		log.Printf("indexed %d hubs in %v (%.2f MB, %d entries)",
+			off.Hubs, off.Total.Round(time.Millisecond), float64(off.IndexBytes)/(1<<20), off.IndexEntries)
 	}
-	log.Printf("precomputing hub index ...")
-	if err := engine.Precompute(); err != nil {
-		return err
-	}
-	off := engine.OfflineStats()
-	log.Printf("indexed %d hubs in %v (%.2f MB, %d entries)",
-		off.Hubs, off.Total.Round(time.Millisecond), float64(off.IndexBytes)/(1<<20), off.IndexEntries)
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
@@ -104,6 +130,45 @@ func run(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)
+	}
+}
+
+// openOrBuildDiskIndex serves from an existing index file, or runs the
+// offline phase into it first when it does not exist yet. Serving always goes
+// through OpenDiskIndex so reads are fronted by the hub-block cache.
+func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, cacheBytes int64) (*fastppv.Engine, func() error, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		log.Printf("index %s not found, precomputing ...", path)
+		start := time.Now()
+		builder, closeBuilder, err := fastppv.NewWithDiskIndex(g, opts, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := builder.Precompute(); err != nil {
+			// Remove the partial file: closing it writes a well-formed
+			// footer over however many hubs made it to disk, and a later
+			// restart would silently serve that incomplete index.
+			closeBuilder()
+			os.Remove(path)
+			return nil, nil, err
+		}
+		if err := closeBuilder(); err != nil {
+			os.Remove(path)
+			return nil, nil, err
+		}
+		log.Printf("precomputed %s in %v", path, time.Since(start).Round(time.Millisecond))
+	}
+	return fastppv.OpenDiskIndex(g, opts, path, cacheBytes)
+}
+
+func blockCacheDesc(bytes int64) string {
+	switch {
+	case bytes < 0:
+		return "disabled"
+	case bytes == 0:
+		return "64.00 MB"
+	default:
+		return fmt.Sprintf("%.2f MB", float64(bytes)/(1<<20))
 	}
 }
 

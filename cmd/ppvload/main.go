@@ -40,6 +40,13 @@ type serverStats struct {
 		Entries int   `json:"entries"`
 		Bytes   int64 `json:"bytes"`
 	} `json:"cache"`
+	BlockCache *struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Loads   int64 `json:"loads"`
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+	} `json:"block_cache"`
 	Admission struct {
 		Admitted int64 `json:"admitted"`
 		Degraded int64 `json:"degraded"`
@@ -187,6 +194,21 @@ func run(args []string) error {
 		}
 		fmt.Printf("server cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
 			rate*100, after.Cache.Entries, float64(after.Cache.Bytes)/(1<<20))
+	}
+	if after.BlockCache != nil {
+		bc := after.BlockCache
+		var before_ struct{ hits, misses int64 }
+		if before.BlockCache != nil {
+			before_.hits, before_.misses = before.BlockCache.Hits, before.BlockCache.Misses
+		}
+		hits := bc.Hits - before_.hits
+		misses := bc.Misses - before_.misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("server block cache: %.1f%% hub-block hit rate this run (%d blocks, %.2f MB held, %d disk loads lifetime)\n",
+			rate*100, bc.Entries, float64(bc.Bytes)/(1<<20), bc.Loads)
 	}
 	fmt.Printf("server admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
 		after.Admission.Admitted, after.Admission.Degraded, after.Coalesced)

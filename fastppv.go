@@ -31,6 +31,8 @@ package fastppv
 
 import (
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
@@ -94,6 +96,10 @@ type AccuracyReport = metrics.Report
 // InvalidNode is returned by lookups that find no node.
 const InvalidNode = graph.InvalidNode
 
+// ErrBadIndexFormat reports a corrupt, truncated or foreign index file; both
+// OpenDiskIndex and later reads through the engine can return it (wrapped).
+var ErrBadIndexFormat = ppvindex.ErrBadIndexFormat
+
 // DefaultAlpha is the teleporting probability used throughout the paper.
 const DefaultAlpha = pagerank.DefaultAlpha
 
@@ -131,11 +137,38 @@ func New(g *Graph, opts Options) (*Engine, error) { return core.NewEngine(g, nil
 // index should not live in memory. The returned close function releases the
 // file handles and must be called when the engine is no longer needed.
 func NewWithDiskIndex(g *Graph, opts Options, path string) (*Engine, func() error, error) {
-	store, err := newDiskStore(path)
+	store, err := newDiskStore(path, -1)
 	if err != nil {
 		return nil, nil, err
 	}
 	engine, err := core.NewEngine(g, store, opts)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return engine, store.Close, nil
+}
+
+// BlockCacheStats summarizes the hub-block cache fronting a disk index.
+type BlockCacheStats = ppvindex.BlockCacheStats
+
+// OpenDiskIndex opens an index file precomputed earlier (by NewWithDiskIndex
+// or `fastppv precompute`) and returns an engine that serves queries from it
+// without redoing the offline phase: the hub set is recovered from the index
+// directory and the engine is immediately query-ready.
+//
+// blockCacheBytes budgets an in-memory cache of decoded hub blocks between
+// the engine and the disk: 0 means a 64 MiB default, negative disables
+// caching (every fetched hub costs one random disk access, the raw Sect. 6.3
+// cost model). opts must match the options used at precompute time.
+//
+// The returned close function releases the file handle.
+func OpenDiskIndex(g *Graph, opts Options, path string, blockCacheBytes int64) (*Engine, func() error, error) {
+	store, err := openDiskStore(path, blockCacheBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewServingEngine(g, store, opts)
 	if err != nil {
 		store.Close()
 		return nil, nil, err
@@ -166,67 +199,153 @@ func Evaluate(exact, approx Vector, k int) AccuracyReport {
 }
 
 // diskStore adapts the disk index writer/reader pair to the engine's
-// IndexStore interface: Put streams to the writer and Get reopens the index
-// lazily after the first read.
+// IndexStore interface. During precompute, Put streams to the writer; the
+// first Get finalizes the writer and opens the index for reading (guarded by
+// mu — concurrent first Gets from parallel queries must not race the
+// transition). Reads optionally go through a ppvindex.BlockCache, and Puts
+// after finalization (incremental updates recomputing a hub) land in an
+// in-memory overlay that shadows the on-disk record, with the hub's cached
+// block invalidated.
 type diskStore struct {
-	path   string
+	path       string
+	cacheBytes int64 // <0 disables the block cache, 0 means default
+
+	// state is published exactly once, when the writer->reader transition
+	// completes, and is immutable afterwards; the read hot path loads it
+	// without taking mu, so warm cache hits never serialize on a store-wide
+	// lock.
+	state atomic.Pointer[diskReadState]
+
+	mu     sync.Mutex
 	writer *ppvindex.DiskWriter
 	reader *ppvindex.DiskIndex
+	cache  *ppvindex.BlockCache
 }
 
-func newDiskStore(path string) (*diskStore, error) {
+// diskReadState is the immutable read-side view of a finalized store.
+type diskReadState struct {
+	// src is where reads come from: the block cache when enabled, the raw
+	// reader otherwise.
+	src ppvindex.Index
+	// overlay holds hubs rewritten after finalization; it only ever contains
+	// hubs that are also in the on-disk directory, so membership queries can
+	// keep delegating to src.
+	overlay *ppvindex.MemIndex
+}
+
+// newDiskStore creates a store in write mode: Puts stream to a fresh index
+// file at path until the first Get finalizes it.
+func newDiskStore(path string, cacheBytes int64) (*diskStore, error) {
 	w, err := ppvindex.CreateDisk(path)
 	if err != nil {
 		return nil, err
 	}
-	return &diskStore{path: path, writer: w}, nil
+	return &diskStore{path: path, cacheBytes: cacheBytes, writer: w}, nil
+}
+
+// openDiskStore opens an existing index file in read mode.
+func openDiskStore(path string, cacheBytes int64) (*diskStore, error) {
+	s := &diskStore{path: path, cacheBytes: cacheBytes}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureReaderLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (s *diskStore) Put(h NodeID, ppv Vector) error {
-	if s.writer == nil {
-		return errReadOnlyIndex
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writer != nil {
+		return s.writer.Put(h, ppv)
 	}
-	return s.writer.Put(h, ppv)
+	// Finalized: the rewrite (an incremental update recomputing this hub)
+	// shadows the on-disk record and evicts the stale cached block. The
+	// overlay Put below never errors.
+	if err := s.ensureReaderLocked(); err != nil {
+		return err
+	}
+	if err := s.state.Load().overlay.Put(h, ppv); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.Invalidate([]NodeID{h})
+	}
+	return nil
 }
 
 func (s *diskStore) Get(h NodeID) (Vector, bool, error) {
-	if err := s.ensureReader(); err != nil {
+	st, err := s.reading()
+	if err != nil {
 		return nil, false, err
 	}
-	return s.reader.Get(h)
+	if v, ok, _ := st.overlay.Get(h); ok {
+		return v, true, nil
+	}
+	return st.src.Get(h)
 }
 
 func (s *diskStore) Has(h NodeID) bool {
-	if err := s.ensureReader(); err != nil {
+	st, err := s.reading()
+	if err != nil {
 		return false
 	}
-	return s.reader.Has(h)
+	return st.src.Has(h)
 }
 
 func (s *diskStore) Hubs() []NodeID {
-	if err := s.ensureReader(); err != nil {
+	st, err := s.reading()
+	if err != nil {
 		return nil
 	}
-	return s.reader.Hubs()
+	return st.src.Hubs()
 }
 
 func (s *diskStore) Len() int {
-	if err := s.ensureReader(); err != nil {
+	st, err := s.reading()
+	if err != nil {
 		return 0
 	}
-	return s.reader.Len()
+	return st.src.Len()
 }
 
 func (s *diskStore) SizeBytes() int64 {
-	if err := s.ensureReader(); err != nil {
+	st, err := s.reading()
+	if err != nil {
 		return 0
 	}
-	return s.reader.SizeBytes()
+	return st.src.SizeBytes()
 }
 
-// ensureReader finalizes the writer (if still open) and opens the index for
-// reading.
-func (s *diskStore) ensureReader() error {
+// BlockCacheStats reports the hub-block cache counters; ok is false when the
+// store runs without a cache. The serving layer's /v1/stats exposes these.
+func (s *diskStore) BlockCacheStats() (BlockCacheStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return BlockCacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// reading returns the read-side state, opening the reader first if the store
+// is still in write mode. The fast path is a single atomic load.
+func (s *diskStore) reading() (*diskReadState, error) {
+	if st := s.state.Load(); st != nil {
+		return st, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureReaderLocked(); err != nil {
+		return nil, err
+	}
+	return s.state.Load(), nil
+}
+
+// ensureReaderLocked finalizes the writer (if still open), opens the index
+// for reading and publishes the read state. Callers must hold s.mu.
+func (s *diskStore) ensureReaderLocked() error {
 	if s.reader != nil {
 		return nil
 	}
@@ -241,11 +360,19 @@ func (s *diskStore) ensureReader() error {
 		return err
 	}
 	s.reader = r
+	st := &diskReadState{src: ppvindex.Index(r), overlay: ppvindex.NewMemIndex()}
+	if s.cacheBytes >= 0 {
+		s.cache = ppvindex.NewBlockCache(r, s.cacheBytes, 0)
+		st.src = s.cache
+	}
+	s.state.Store(st)
 	return nil
 }
 
 // Close releases the underlying file handles.
 func (s *diskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.writer != nil {
 		if err := s.writer.Close(); err != nil {
 			return err
@@ -259,9 +386,3 @@ func (s *diskStore) Close() error {
 	}
 	return nil
 }
-
-var errReadOnlyIndex = errReadOnly{}
-
-type errReadOnly struct{}
-
-func (errReadOnly) Error() string { return "fastppv: disk index already finalized for reading" }

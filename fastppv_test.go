@@ -1,8 +1,11 @@
 package fastppv
 
 import (
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -179,6 +182,173 @@ func TestPublicAPIDiskIndex(t *testing.T) {
 	}
 	if err := closeIndex(); err != nil {
 		t.Errorf("closing the disk index: %v", err)
+	}
+}
+
+// TestPublicAPIDiskIndexConcurrentFirstGet is the -race regression test for
+// the writer->reader transition: the first Gets after Precompute finalize the
+// index file and open it for reading, and concurrent queries must not race on
+// that state.
+func TestPublicAPIDiskIndexConcurrentFirstGet(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 8)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	engine, closeIndex, err := NewWithDiskIndex(g, Options{NumHubs: 30}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIndex()
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := NodeID(w); int(q) < g.NumNodes(); q += workers * 10 {
+				if _, err := engine.Query(q, DefaultStop()); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatalf("concurrent query: %v", err)
+	}
+}
+
+// TestPublicAPIOpenDiskIndex covers the serving path: precompute into a file,
+// reopen it with the hub-block cache, and check answers, cache behaviour and
+// incremental updates.
+func TestPublicAPIOpenDiskIndex(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 9)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+
+	build, closeBuild, err := NewWithDiskIndex(g, Options{NumHubs: 30}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := build.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeBuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex: %v", err)
+	}
+	defer closeIndex()
+	if !engine.Precomputed() {
+		t.Fatal("an opened index should be immediately query-ready")
+	}
+	if engine.Hubs().Size() != 30 {
+		t.Fatalf("recovered %d hubs, want 30", engine.Hubs().Size())
+	}
+
+	memEngine, err := New(g, Options{NumHubs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := memEngine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	for q := NodeID(0); q < 10; q++ {
+		a, err := engine.Query(q, DefaultStop())
+		if err != nil {
+			t.Fatalf("disk query %d: %v", q, err)
+		}
+		b, err := memEngine.Query(q, DefaultStop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := a.Estimate.L1Distance(b.Estimate); d > 1e-9 {
+			t.Errorf("q=%d: served estimate differs from the in-memory one by %v", q, d)
+		}
+	}
+
+	// Repeating the same queries must be answered from the block cache.
+	stats, ok := engine.Index().(interface {
+		BlockCacheStats() (BlockCacheStats, bool)
+	})
+	if !ok {
+		t.Fatal("disk-backed index should expose block cache stats")
+	}
+	st, enabled := stats.BlockCacheStats()
+	if !enabled {
+		t.Fatal("block cache should be enabled")
+	}
+	loadsAfterFirstPass := st.Loads
+	for q := NodeID(0); q < 10; q++ {
+		if _, err := engine.Query(q, DefaultStop()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ = stats.BlockCacheStats()
+	if st.Loads != loadsAfterFirstPass {
+		t.Errorf("warm pass issued %d extra disk loads", st.Loads-loadsAfterFirstPass)
+	}
+	if st.Hits == 0 {
+		t.Error("warm pass should register cache hits")
+	}
+
+	// Incremental updates work against the opened index: recomputed hubs land
+	// in the overlay and their blocks are invalidated.
+	before, err := engine.Query(0, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NodeID(250)
+	ustats, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: 0, To: target}}})
+	if err != nil {
+		t.Fatalf("ApplyUpdate on an opened index: %v", err)
+	}
+	if ustats.AffectedHubs+ustats.UnaffectedHubs != engine.Hubs().Size() {
+		t.Errorf("update stats do not cover all hubs: %+v", ustats)
+	}
+	after, err := engine.Query(0, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate.Get(target) <= before.Estimate.Get(target) {
+		t.Errorf("adding the edge 0->%d should raise its score: %.6f -> %.6f",
+			target, before.Estimate.Get(target), after.Estimate.Get(target))
+	}
+}
+
+// TestPublicAPIOpenDiskIndexRejectsTruncated is the acceptance check that a
+// truncated index file fails loudly with ErrBadIndexFormat instead of serving
+// corrupt scores.
+func TestPublicAPIOpenDiskIndexRejectsTruncated(t *testing.T) {
+	g := buildTestGraph(t, 200, 3, 10)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	build, closeBuild, err := NewWithDiskIndex(g, Options{NumHubs: 20}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := build.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeBuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()*3/5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenDiskIndex(g, Options{NumHubs: 20}, path, 0); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("OpenDiskIndex on a truncated file = %v, want ErrBadIndexFormat", err)
 	}
 }
 

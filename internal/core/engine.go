@@ -75,6 +75,48 @@ func NewEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) 
 	return &Engine{g: g, opts: opts, index: index}, nil
 }
 
+// NewServingEngine creates an engine that answers queries from an existing,
+// already precomputed index — the disk-based serving configuration of
+// Sect. 5.3, where the offline phase ran in a separate process and the daemon
+// only opens the index file. The hub set is recovered from the index
+// directory, the engine is immediately query-ready (Precomputed reports
+// true), and ApplyUpdate maintains the index through its Put method.
+//
+// opts must match the options the index was precomputed with (Alpha in
+// particular — the stored prime PPVs embed it); the index format does not
+// record them, so this cannot be verified here.
+func NewServingEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if index == nil || index.Len() == 0 {
+		return nil, fmt.Errorf("core: serving engine needs a non-empty precomputed index")
+	}
+	hubNodes := index.Hubs()
+	for _, h := range hubNodes {
+		if h < 0 || int(h) >= g.NumNodes() {
+			return nil, fmt.Errorf("core: index/graph mismatch: indexed hub %d outside [0,%d)", h, g.NumNodes())
+		}
+	}
+	e := &Engine{
+		g:           g,
+		opts:        opts,
+		hubs:        hub.NewSet(hubNodes),
+		index:       index,
+		precomputed: true,
+	}
+	e.offline = OfflineStats{
+		Hubs:         len(hubNodes),
+		IndexBytes:   index.SizeBytes(),
+		IndexEntries: ppvindex.StatsOf(index).TotalEntries,
+	}
+	return e, nil
+}
+
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 

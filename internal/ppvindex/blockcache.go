@@ -1,0 +1,267 @@
+package ppvindex
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+// BlockCache is a sharded, byte-budgeted LRU cache of decoded prime-PPV
+// records layered over a slower Index (in practice a DiskIndex). It is the
+// serving-side answer to the paper's Sect. 5.3/6.3 disk-resident
+// configuration: the full hub index stays on disk and each fetched hub costs
+// one random access, but a skewed online workload re-fetches a small set of
+// popular hubs over and over — the cache keeps that hot working set decoded
+// in memory under an explicit byte budget, so indexes larger than RAM stay
+// servable.
+//
+// Three properties matter under a concurrent server:
+//
+//   - sharding: hubs hash onto independent mutex+LRU shards, so cache lookups
+//     on the query hot path do not serialize on one lock;
+//   - singleflight: concurrent Gets for the same uncached hub perform one
+//     disk read and share the decoded block, preventing a miss stampede on a
+//     hub that just became popular (or was just invalidated);
+//   - targeted invalidation: when ApplyUpdate recomputes a hub's prime PPV,
+//     Invalidate evicts exactly that hub's block, so the next Get re-reads
+//     the fresh record instead of serving the stale one.
+//
+// Cached vectors are shared with callers and must be treated as immutable,
+// matching the Index.Get contract.
+type BlockCache struct {
+	inner  Index
+	shards []*blockShard
+	seed   maphash.Seed
+	budget int64
+}
+
+type blockShard struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	lru    *list.List // front = most recently used; values are *blockEntry
+	byHub  map[graph.NodeID]*list.Element
+	// flights holds the in-progress load per hub; later arrivals block on the
+	// call instead of issuing their own disk read.
+	flights map[graph.NodeID]*blockFlight
+
+	hits, misses, loads, evictions, invalidations, coalesced int64
+}
+
+type blockEntry struct {
+	hub   graph.NodeID
+	ppv   sparse.Vector
+	bytes int64
+}
+
+type blockFlight struct {
+	done chan struct{}
+	ppv  sparse.Vector
+	ok   bool
+	err  error
+}
+
+// BlockCacheStats is a point-in-time summary of the cache, aggregated over
+// shards.
+type BlockCacheStats struct {
+	// Hits are Gets answered from a cached block; Misses went to the inner
+	// index (Coalesced of them by sharing another Get's in-flight load).
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	// Loads counts actual inner-index reads, i.e. Misses - Coalesced that
+	// found the hub (plus loads whose block was too large to retain).
+	Loads         int64 `json:"loads"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+}
+
+// Per-block byte accounting: a decoded record lives as a Go map from NodeID
+// to float64, which costs far more than the 12 bytes/entry of the disk
+// layout. ~48 bytes/entry covers key+value+bucket overhead at typical load
+// factors; the fixed term covers the map header, list element and entry
+// struct.
+const (
+	blockFixedBytes    = 128
+	blockPerEntryBytes = 48
+)
+
+func blockBytes(v sparse.Vector) int64 {
+	return blockFixedBytes + int64(v.NonZeros())*blockPerEntryBytes
+}
+
+// NewBlockCache wraps inner with a cache of budgetBytes total budget split
+// evenly across numShards shards. Non-positive budget or shard count fall
+// back to defaults (64 MiB, 16 shards).
+func NewBlockCache(inner Index, budgetBytes int64, numShards int) *BlockCache {
+	if budgetBytes <= 0 {
+		budgetBytes = 64 << 20
+	}
+	if numShards <= 0 {
+		numShards = 16
+	}
+	c := &BlockCache{
+		inner:  inner,
+		shards: make([]*blockShard, numShards),
+		seed:   maphash.MakeSeed(),
+		budget: budgetBytes,
+	}
+	perShard := budgetBytes / int64(numShards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &blockShard{
+			budget:  perShard,
+			lru:     list.New(),
+			byHub:   make(map[graph.NodeID]*list.Element),
+			flights: make(map[graph.NodeID]*blockFlight),
+		}
+	}
+	return c
+}
+
+func (c *BlockCache) shardFor(h graph.NodeID) *blockShard {
+	var mh maphash.Hash
+	mh.SetSeed(c.seed)
+	mh.WriteByte(byte(h))
+	mh.WriteByte(byte(h >> 8))
+	mh.WriteByte(byte(h >> 16))
+	mh.WriteByte(byte(h >> 24))
+	return c.shards[mh.Sum64()%uint64(len(c.shards))]
+}
+
+// Get returns the prime PPV of h, from cache when possible. On a miss the
+// block is loaded from the inner index exactly once, no matter how many
+// concurrent Gets race for it, then retained under the byte budget.
+func (c *BlockCache) Get(h graph.NodeID) (sparse.Vector, bool, error) {
+	// Membership is resolved from the inner index's in-memory directory
+	// first: a Get for an unindexed node (every non-hub query node) is a map
+	// lookup, never a flight registration, and does not distort miss stats.
+	if !c.inner.Has(h) {
+		return nil, false, nil
+	}
+	s := c.shardFor(h)
+	s.mu.Lock()
+	if el, ok := s.byHub[h]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		v := el.Value.(*blockEntry).ppv
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	s.misses++
+	if fl, ok := s.flights[h]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.ppv, fl.ok, fl.err
+	}
+	fl := &blockFlight{done: make(chan struct{})}
+	s.flights[h] = fl
+	s.mu.Unlock()
+
+	fl.ppv, fl.ok, fl.err = c.inner.Get(h)
+
+	s.mu.Lock()
+	s.loads++
+	// The load may race with an Invalidate for the same hub (an update
+	// rewrote the record while we were reading the old one). Invalidate
+	// removes the flight from the map to mark it stale; only a still
+	// registered flight may populate the cache.
+	if cur, registered := s.flights[h]; registered && cur == fl {
+		delete(s.flights, h)
+		if fl.err == nil && fl.ok {
+			s.insertLocked(h, fl.ppv)
+		}
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.ppv, fl.ok, fl.err
+}
+
+// insertLocked stores a decoded block and evicts LRU blocks until the shard
+// is back under budget. Blocks larger than a whole shard budget are served
+// but not retained.
+func (s *blockShard) insertLocked(h graph.NodeID, v sparse.Vector) {
+	nbytes := blockBytes(v)
+	if nbytes > s.budget {
+		return
+	}
+	if el, ok := s.byHub[h]; ok {
+		// A concurrent load for the same hub already filled the slot (both
+		// started before either registered); keep the newer value.
+		ent := el.Value.(*blockEntry)
+		s.bytes += nbytes - ent.bytes
+		ent.ppv, ent.bytes = v, nbytes
+		s.lru.MoveToFront(el)
+	} else {
+		s.byHub[h] = s.lru.PushFront(&blockEntry{hub: h, ppv: v, bytes: nbytes})
+		s.bytes += nbytes
+	}
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*blockEntry)
+		s.lru.Remove(back)
+		delete(s.byHub, ent.hub)
+		s.bytes -= ent.bytes
+		s.evictions++
+	}
+}
+
+// Invalidate evicts the blocks of the given hubs (typically the hubs an
+// incremental update recomputed) and reports how many cached blocks were
+// dropped. In-flight loads for those hubs are marked stale so they cannot
+// re-populate the cache with the pre-update record.
+func (c *BlockCache) Invalidate(hubs []graph.NodeID) int {
+	dropped := 0
+	for _, h := range hubs {
+		s := c.shardFor(h)
+		s.mu.Lock()
+		if el, ok := s.byHub[h]; ok {
+			ent := el.Value.(*blockEntry)
+			s.lru.Remove(el)
+			delete(s.byHub, h)
+			s.bytes -= ent.bytes
+			s.invalidations++
+			dropped++
+		}
+		delete(s.flights, h)
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// Has, Hubs, Len and SizeBytes delegate to the inner index: the cache changes
+// where blocks are read from, not what is indexed.
+func (c *BlockCache) Has(h graph.NodeID) bool { return c.inner.Has(h) }
+func (c *BlockCache) Hubs() []graph.NodeID    { return c.inner.Hubs() }
+func (c *BlockCache) Len() int                { return c.inner.Len() }
+func (c *BlockCache) SizeBytes() int64        { return c.inner.SizeBytes() }
+
+// Stats aggregates the per-shard counters.
+func (c *BlockCache) Stats() BlockCacheStats {
+	st := BlockCacheStats{BudgetBytes: c.budget}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.Loads += s.loads
+		st.Evictions += s.evictions
+		st.Invalidations += s.invalidations
+		st.Entries += len(s.byHub)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -9,7 +9,7 @@ import (
 	"math"
 	"os"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"fastppv/internal/graph"
 	"fastppv/internal/sparse"
@@ -17,20 +17,24 @@ import (
 
 // Disk layout (little endian):
 //
-//	header:
-//	  magic  uint32 'F','P','I','1'
-//	  hubs   uint32
-//	directory (hubs entries):
-//	  hub    uint32
-//	  offset uint64   byte offset of the hub's record from the file start
-//	records (one per hub, at its directory offset):
+//	records (one per hub, written first, streamed in Put order):
 //	  hub    uint32
 //	  count  uint32
 //	  count * { node uint32, score float64 }
+//	directory (hubs entries, appended after the last record):
+//	  hub    uint32
+//	  offset uint64   byte offset of the hub's record from the file start
+//	footer (the final 16 bytes of the file):
+//	  magic    uint32 'F','P','I','1'
+//	  hubs     uint32
+//	  dirStart uint64  byte offset of the directory
 //
-// The directory is small enough to keep in memory (12 bytes per hub); each
-// Get performs a single positioned read of the record, which models the "one
-// random access to the disk" per fetched hub of Sect. 6.3.1.
+// Records come first so that DiskWriter can stream an index larger than RAM
+// in one pass, buffering only the 12-byte-per-hub directory; Close appends
+// the directory and the footer. OpenDisk reads the footer, then the
+// directory, and keeps the directory in memory; each Get performs a single
+// positioned read of the record, which models the "one random access to the
+// disk" per fetched hub of Sect. 6.3.1.
 const diskMagic = uint32('F') | uint32('P')<<8 | uint32('I')<<16 | uint32('1')<<24
 
 // ErrBadIndexFormat reports a corrupt or foreign index file.
@@ -127,16 +131,20 @@ func (d *DiskWriter) Close() error {
 }
 
 // DiskIndex is a read-only disk-backed PPV index. It is safe for concurrent
-// use: reads use positioned I/O on a shared file descriptor.
+// use: the directory is immutable after OpenDisk and reads use positioned I/O
+// on a shared file descriptor.
 type DiskIndex struct {
 	f         *os.File
-	mu        sync.RWMutex
 	directory map[graph.NodeID]uint64
 	hubs      []graph.NodeID
 	size      int64
-	// Reads counts the number of record fetches, modelling random disk
-	// accesses during online query processing.
-	reads int64
+	// recordsEnd is the first byte past the record region (the directory
+	// start); every record, header and payload, must fit below it.
+	recordsEnd int64
+	// reads counts the number of record fetches, modelling random disk
+	// accesses during online query processing. Atomic: Get is the hot path
+	// of every cache-missing hub expansion and must not serialize on a lock.
+	reads atomic.Int64
 }
 
 // OpenDisk opens an index file written by DiskWriter.
@@ -165,7 +173,10 @@ func OpenDisk(path string) (*DiskIndex, error) {
 	}
 	hubCount := int(binary.LittleEndian.Uint32(footer[4:]))
 	dirStart := int64(binary.LittleEndian.Uint64(footer[8:]))
-	if dirStart < 0 || dirStart+int64(hubCount)*12 > st.Size()-16 {
+	// Bounds-check with subtraction, not addition: dirStart comes from the
+	// file and dirStart+hubCount*12 could wrap past MaxInt64, slipping a
+	// crafted footer past the check and into a huge directory allocation.
+	if dirStart < 0 || dirStart > st.Size()-16 || int64(hubCount)*12 > st.Size()-16-dirStart {
 		f.Close()
 		return nil, ErrBadIndexFormat
 	}
@@ -175,14 +186,27 @@ func OpenDisk(path string) (*DiskIndex, error) {
 		return nil, err
 	}
 	idx := &DiskIndex{
-		f:         f,
-		directory: make(map[graph.NodeID]uint64, hubCount),
-		hubs:      make([]graph.NodeID, 0, hubCount),
-		size:      st.Size(),
+		f:          f,
+		directory:  make(map[graph.NodeID]uint64, hubCount),
+		hubs:       make([]graph.NodeID, 0, hubCount),
+		size:       st.Size(),
+		recordsEnd: dirStart,
 	}
 	for i := 0; i < hubCount; i++ {
 		h := graph.NodeID(binary.LittleEndian.Uint32(dirBuf[i*12:]))
 		off := binary.LittleEndian.Uint64(dirBuf[i*12+4:])
+		// Every record header must lie fully inside the record region; an
+		// offset pointing past it (or wrapping negative) means the directory
+		// is corrupt, and accepting it would turn Get into reads of the
+		// directory/footer bytes reinterpreted as record data.
+		if int64(off) < 0 || int64(off)+8 > dirStart {
+			f.Close()
+			return nil, fmt.Errorf("%w: directory offset %d of hub %d outside record region [0,%d)", ErrBadIndexFormat, off, h, dirStart)
+		}
+		if _, dup := idx.directory[h]; dup {
+			f.Close()
+			return nil, fmt.Errorf("%w: duplicate directory entry for hub %d", ErrBadIndexFormat, h)
+		}
 		idx.directory[h] = off
 		idx.hubs = append(idx.hubs, h)
 	}
@@ -193,16 +217,20 @@ func OpenDisk(path string) (*DiskIndex, error) {
 // Close releases the underlying file.
 func (d *DiskIndex) Close() error { return d.f.Close() }
 
-// Get reads the prime PPV of h from disk.
+// Get reads the prime PPV of h from disk. A record that does not fit inside
+// the file's record region — a truncated file, or a corrupt count that would
+// drive a huge allocation — fails with ErrBadIndexFormat instead of decoding
+// zero-filled bytes into a silently wrong vector.
 func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
-	d.mu.RLock()
 	off, ok := d.directory[h]
-	d.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
 	header := make([]byte, 8)
 	if _, err := d.f.ReadAt(header, int64(off)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, false, fmt.Errorf("%w: truncated record header of hub %d at offset %d", ErrBadIndexFormat, h, off)
+		}
 		return nil, false, err
 	}
 	storedHub := graph.NodeID(binary.LittleEndian.Uint32(header[0:]))
@@ -210,8 +238,16 @@ func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	if storedHub != h {
 		return nil, false, fmt.Errorf("%w: record at offset %d is for hub %d, expected %d", ErrBadIndexFormat, off, storedHub, h)
 	}
+	if count < 0 || int64(off)+8+int64(count)*entryBytes > d.recordsEnd {
+		return nil, false, fmt.Errorf("%w: record of hub %d claims %d entries, overrunning the record region", ErrBadIndexFormat, h, count)
+	}
 	buf := make([]byte, count*entryBytes)
-	if _, err := d.f.ReadAt(buf, int64(off)+8); err != nil && err != io.EOF {
+	if _, err := d.f.ReadAt(buf, int64(off)+8); err != nil {
+		// ReadAt returns a non-nil error on every short read; after the
+		// bounds check above, any EOF here means the file shrank under us.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, false, fmt.Errorf("%w: truncated record of hub %d at offset %d", ErrBadIndexFormat, h, off)
+		}
 		return nil, false, err
 	}
 	v := sparse.New(count)
@@ -220,16 +256,12 @@ func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 		score := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*entryBytes+4:]))
 		v[node] = score
 	}
-	d.mu.Lock()
-	d.reads++
-	d.mu.Unlock()
+	d.reads.Add(1)
 	return v, true, nil
 }
 
 // Has reports whether h is indexed.
 func (d *DiskIndex) Has(h graph.NodeID) bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	_, ok := d.directory[h]
 	return ok
 }
@@ -244,8 +276,4 @@ func (d *DiskIndex) Len() int { return len(d.hubs) }
 func (d *DiskIndex) SizeBytes() int64 { return d.size }
 
 // Reads returns the number of record fetches performed so far.
-func (d *DiskIndex) Reads() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.reads
-}
+func (d *DiskIndex) Reads() int64 { return d.reads.Load() }

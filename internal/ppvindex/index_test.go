@@ -1,6 +1,9 @@
 package ppvindex
 
 import (
+	"encoding/binary"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -145,6 +148,183 @@ func TestOpenDiskRejectsCorruptFiles(t *testing.T) {
 	}
 	if _, err := OpenDisk(tiny); err == nil {
 		t.Error("OpenDisk on a too-small file should fail")
+	}
+}
+
+// buildValidIndex writes a small valid index and returns its path and bytes.
+func buildValidIndex(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "valid.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, v := range sampleVectors() {
+		if err := w.Put(h, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestOpenDiskRejectsBitFlippedMagic(t *testing.T) {
+	dir := t.TempDir()
+	_, data := buildValidIndex(t, dir)
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-16] ^= 0x01 // first magic byte of the footer
+	path := filepath.Join(dir, "flipped.ppv")
+	if err := writeFile(path, flipped); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("OpenDisk with flipped magic = %v, want ErrBadIndexFormat", err)
+	}
+}
+
+func TestOpenDiskRejectsShortDirectory(t *testing.T) {
+	dir := t.TempDir()
+	_, data := buildValidIndex(t, dir)
+	// Inflate the footer's hub count so the directory would extend past the
+	// footer; OpenDisk must reject it rather than read footer bytes as
+	// directory entries.
+	corrupt := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[len(corrupt)-12:], 1<<20)
+	path := filepath.Join(dir, "shortdir.ppv")
+	if err := writeFile(path, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("OpenDisk with short directory = %v, want ErrBadIndexFormat", err)
+	}
+}
+
+// TestOpenDiskRejectsOverflowingFooter crafts a footer whose dirStart +
+// hubCount*12 wraps past MaxInt64; the bounds check must reject it rather
+// than let the wrap slip through into a ~50 GB directory allocation.
+func TestOpenDiskRejectsOverflowingFooter(t *testing.T) {
+	dir := t.TempDir()
+	_, data := buildValidIndex(t, dir)
+	corrupt := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[len(corrupt)-12:], 0xFFFFFFFF)
+	binary.LittleEndian.PutUint64(corrupt[len(corrupt)-8:], 0x7FFFFFFF00000000)
+	path := filepath.Join(dir, "overflow.ppv")
+	if err := writeFile(path, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("OpenDisk with overflowing footer = %v, want ErrBadIndexFormat", err)
+	}
+}
+
+func TestOpenDiskRejectsDirectoryOffsetOutsideRecords(t *testing.T) {
+	// Hand-craft an index whose single directory entry points past the
+	// record region.
+	var buf []byte
+	record := make([]byte, 8) // hub 1, count 0
+	binary.LittleEndian.PutUint32(record[0:], 1)
+	buf = append(buf, record...)
+	dirEntry := make([]byte, 12)
+	binary.LittleEndian.PutUint32(dirEntry[0:], 1)
+	binary.LittleEndian.PutUint64(dirEntry[4:], 999) // past dirStart=8
+	buf = append(buf, dirEntry...)
+	footer := make([]byte, 16)
+	binary.LittleEndian.PutUint32(footer[0:], diskMagic)
+	binary.LittleEndian.PutUint32(footer[4:], 1)
+	binary.LittleEndian.PutUint64(footer[8:], 8)
+	buf = append(buf, footer...)
+
+	path := filepath.Join(t.TempDir(), "badoffset.ppv")
+	if err := writeFile(path, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("OpenDisk with out-of-range offset = %v, want ErrBadIndexFormat", err)
+	}
+}
+
+// TestDiskIndexGetRejectsTruncatedLastRecord crafts an index whose last
+// record claims more entries than the record region holds — the layout a
+// partially flushed writer or a torn copy produces. Get must fail with
+// ErrBadIndexFormat, not decode zero-filled bytes into a silently wrong PPV
+// (the pre-fix behaviour swallowed the short read's io.EOF).
+func TestDiskIndexGetRejectsTruncatedLastRecord(t *testing.T) {
+	var buf []byte
+	record := make([]byte, 8+2*entryBytes) // claims 3 entries, holds 2
+	binary.LittleEndian.PutUint32(record[0:], 5)
+	binary.LittleEndian.PutUint32(record[4:], 3)
+	binary.LittleEndian.PutUint32(record[8:], 10)
+	binary.LittleEndian.PutUint64(record[12:], math.Float64bits(0.5))
+	binary.LittleEndian.PutUint32(record[8+entryBytes:], 11)
+	binary.LittleEndian.PutUint64(record[12+entryBytes:], math.Float64bits(0.25))
+	buf = append(buf, record...)
+	dirStart := uint64(len(buf))
+	dirEntry := make([]byte, 12)
+	binary.LittleEndian.PutUint32(dirEntry[0:], 5)
+	buf = append(buf, dirEntry...)
+	footer := make([]byte, 16)
+	binary.LittleEndian.PutUint32(footer[0:], diskMagic)
+	binary.LittleEndian.PutUint32(footer[4:], 1)
+	binary.LittleEndian.PutUint64(footer[8:], dirStart)
+	buf = append(buf, footer...)
+
+	path := filepath.Join(t.TempDir(), "truncated.ppv")
+	if err := writeFile(path, buf); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v (the directory itself is well-formed)", err)
+	}
+	defer idx.Close()
+	if _, _, err := idx.Get(5); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("Get on a truncated record = %v, want ErrBadIndexFormat", err)
+	}
+}
+
+// TestDiskIndexGetRejectsHugeCount guards the allocation path: a bit flip in
+// a record's count field must not drive a multi-gigabyte allocation.
+func TestDiskIndexGetRejectsHugeCount(t *testing.T) {
+	dir := t.TempDir()
+	path, data := buildValidIndex(t, dir)
+	idx, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(-1)
+	for h, o := range idx.directory {
+		if h == 3 {
+			off = int64(o)
+		}
+	}
+	idx.Close()
+	if off < 0 {
+		t.Fatal("hub 3 not in directory")
+	}
+
+	corrupt := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[off+4:], 0x7fffffff)
+	badPath := filepath.Join(dir, "hugecount.ppv")
+	if err := writeFile(badPath, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := OpenDisk(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, _, err := bad.Get(3); !errors.Is(err, ErrBadIndexFormat) {
+		t.Fatalf("Get with corrupt count = %v, want ErrBadIndexFormat", err)
+	}
+	// The other hubs' records are intact and still readable.
+	if _, ok, err := bad.Get(7); !ok || err != nil {
+		t.Fatalf("Get(7) on intact record = %v, %v", ok, err)
 	}
 }
 

@@ -3,7 +3,7 @@ package server
 import (
 	"container/list"
 	"hash/maphash"
-
+	"math"
 	"sync"
 
 	"fastppv/internal/core"
@@ -121,6 +121,13 @@ func (c *Cache) shardFor(k CacheKey) *cacheShard {
 	h.WriteByte(byte(k.Node >> 16))
 	h.WriteByte(byte(k.Node >> 24))
 	h.WriteByte(byte(k.Eta))
+	// TargetError is part of the key, so it must be part of the hash: keys
+	// differing only in target error would otherwise all land on one shard
+	// and serialize on its mutex.
+	te := math.Float64bits(k.TargetError)
+	for i := 0; i < 8; i++ {
+		h.WriteByte(byte(te >> (8 * i)))
+	}
 	return c.shards[h.Sum64()%uint64(len(c.shards))]
 }
 
@@ -152,6 +159,10 @@ func (c *Cache) Put(k CacheKey, ans *cachedAnswer) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// puts counts every successful store, replacements included; counting
+	// only inserts would make hit-ratio accounting drift on workloads that
+	// refresh existing keys.
+	s.puts++
 	if el, ok := s.byKey[k]; ok {
 		old := el.Value.(*cacheEntry)
 		s.bytes -= old.ans.bytes
@@ -162,7 +173,6 @@ func (c *Cache) Put(k CacheKey, ans *cachedAnswer) {
 		el := s.lru.PushFront(&cacheEntry{key: k, ans: ans})
 		s.byKey[k] = el
 		s.bytes += ans.bytes
-		s.puts++
 	}
 	for s.bytes > s.budget {
 		back := s.lru.Back()

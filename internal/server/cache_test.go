@@ -102,6 +102,40 @@ func TestCacheSizeEstimate(t *testing.T) {
 	}
 }
 
+func TestCachePutCountsReplacements(t *testing.T) {
+	c := NewCache(1<<20, 1)
+	c.Put(key(1), fakeAnswer(100))
+	c.Put(key(1), fakeAnswer(120))
+	c.Put(key(2), fakeAnswer(100))
+	st := c.Stats()
+	if st.Puts != 3 {
+		t.Fatalf("puts = %d, want 3 (replacements count)", st.Puts)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	// An oversized answer is rejected before reaching the shard and must not
+	// count as a put.
+	c.Put(key(3), fakeAnswer(2<<20))
+	if st := c.Stats(); st.Puts != 3 {
+		t.Fatalf("puts after rejected oversize = %d, want 3", st.Puts)
+	}
+}
+
+func TestCacheShardForSpreadsTargetError(t *testing.T) {
+	c := NewCache(1<<20, 16)
+	shards := make(map[*cacheShard]struct{})
+	for i := 0; i < 64; i++ {
+		k := CacheKey{Node: 1, Eta: 2, TargetError: 0.001 * float64(i+1)}
+		shards[c.shardFor(k)] = struct{}{}
+	}
+	// With TargetError excluded from the hash all 64 keys land on one shard;
+	// hashing it in makes a single-shard outcome astronomically unlikely.
+	if len(shards) < 2 {
+		t.Fatalf("64 keys differing only in target error mapped to %d shard(s)", len(shards))
+	}
+}
+
 func TestCacheInvalidate(t *testing.T) {
 	c := NewCache(1<<20, 4)
 	c.Put(key(1), fakeAnswer(100, 7))

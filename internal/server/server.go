@@ -38,6 +38,7 @@ import (
 
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
+	"fastppv/internal/ppvindex"
 )
 
 // Config tunes the serving layers. The zero value serves with sensible
@@ -615,10 +616,18 @@ type StatsResponse struct {
 	Graph          GraphInfo                    `json:"graph"`
 	Offline        OfflineInfo                  `json:"offline"`
 	Cache          *CacheStats                  `json:"cache,omitempty"`
+	BlockCache     *ppvindex.BlockCacheStats    `json:"block_cache,omitempty"`
 	Admission      AdmissionStats               `json:"admission"`
 	Coalesced      int64                        `json:"coalesced"`
 	UpdatesApplied int64                        `json:"updates_applied"`
 	Endpoints      map[string]HistogramSnapshot `json:"endpoints"`
+}
+
+// blockCacheStatser is implemented by index stores that front a hub-block
+// cache (the disk-backed store of fastppv.OpenDiskIndex); the stats endpoint
+// reports their counters when present.
+type blockCacheStatser interface {
+	BlockCacheStats() (ppvindex.BlockCacheStats, bool)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -647,6 +656,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		st := s.cache.Stats()
 		resp.Cache = &st
+	}
+	if bcs, ok := s.engine.Index().(blockCacheStatser); ok {
+		if st, enabled := bcs.BlockCacheStats(); enabled {
+			resp.BlockCache = &st
+		}
 	}
 	for name, h := range s.hists {
 		resp.Endpoints[name] = h.Snapshot()

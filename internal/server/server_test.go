@@ -14,6 +14,7 @@ import (
 	"fastppv/internal/core"
 	"fastppv/internal/gen"
 	"fastppv/internal/graph"
+	"fastppv/internal/ppvindex"
 )
 
 // testEngine precomputes a small deterministic engine.
@@ -403,6 +404,64 @@ func TestServerStatsAndHealth(t *testing.T) {
 	}
 	if ppv.P50MS > ppv.P99MS {
 		t.Errorf("histogram quantiles inverted: %+v", ppv)
+	}
+}
+
+// blockCachedIndex is an IndexStore that pretends to front a hub-block cache,
+// standing in for the disk-backed store of fastppv.OpenDiskIndex.
+type blockCachedIndex struct {
+	*ppvindex.MemIndex
+}
+
+func (blockCachedIndex) BlockCacheStats() (ppvindex.BlockCacheStats, bool) {
+	return ppvindex.BlockCacheStats{Hits: 7, Misses: 3, Entries: 2}, true
+}
+
+// TestServerStatsExposeBlockCache checks that an engine whose index fronts a
+// hub-block cache gets its counters reported under "block_cache".
+func TestServerStatsExposeBlockCache(t *testing.T) {
+	g := socialGraph(t, 200)
+	engine, err := core.NewEngine(g, blockCachedIndex{ppvindex.NewMemIndex()}, core.Options{NumHubs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(engine, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var st StatsResponse
+	status, _, body := get(t, ts, "/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockCache == nil || st.BlockCache.Hits != 7 || st.BlockCache.Misses != 3 {
+		t.Fatalf("stats block_cache = %+v, want hits=7 misses=3", st.BlockCache)
+	}
+
+	// A plain in-memory engine reports no block cache at all.
+	plain := testEngine(t, g, 20)
+	srv2, err := New(plain, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var st2 StatsResponse
+	_, _, body2 := get(t, ts2, "/v1/stats")
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.BlockCache != nil {
+		t.Fatalf("in-memory engine reported block_cache = %+v", st2.BlockCache)
 	}
 }
 
