@@ -417,7 +417,7 @@ func BenchmarkDiskServing(b *testing.B) {
 	}
 
 	b.Run("cold-hub-read", func(b *testing.B) {
-		store, err := openDiskStore(path, -1) // no cache: raw Sect. 6.3 cost model
+		store, err := openDiskStore(path, diskStoreConfig{cacheBytes: -1}) // no cache: raw Sect. 6.3 cost model
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -432,7 +432,7 @@ func BenchmarkDiskServing(b *testing.B) {
 	})
 
 	b.Run("warm-hub-read", func(b *testing.B) {
-		store, err := openDiskStore(path, 64<<20)
+		store, err := openDiskStore(path, diskStoreConfig{cacheBytes: 64 << 20})
 		if err != nil {
 			b.Fatal(err)
 		}

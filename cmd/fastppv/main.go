@@ -87,9 +87,16 @@ func runPrecompute(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer closeIndex()
 	if err := engine.Precompute(); err != nil {
+		// The close function discards the temporary file when Precompute
+		// failed, so no partial index is left at -index.
+		closeIndex()
 		return err
+	}
+	// Finalizing publishes the index (fsync + atomic rename); a failure here
+	// means no usable file was written, so it must be reported.
+	if err := closeIndex(); err != nil {
+		return fmt.Errorf("finalizing index %s: %w", *indexPath, err)
 	}
 	off := engine.OfflineStats()
 	fmt.Printf("indexed %d hubs in %v (hub selection %v, prime PPVs %v)\n",

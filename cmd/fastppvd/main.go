@@ -16,11 +16,18 @@
 //
 //	fastppvd -graph g.txt -index idx.ppv -block-cache-bytes 134217728
 //
+// Incremental updates applied to a disk-served index are durable: each
+// update's recomputed hub PPVs are committed to an update log (-update-log,
+// default <index>.log) before the update returns, and a restart replays the
+// log. The log is folded back into the index by compaction — automatic past
+// -compact-threshold-bytes, or on demand via POST /v1/compact.
+//
 // Endpoints:
 //
 //	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
 //	POST /v1/ppv/batch                           answer a batch of queries
 //	POST /v1/update                              apply a graph update
+//	POST /v1/compact                             fold the update log into the index
 //	GET  /v1/stats                               serving + offline statistics
 //	GET  /healthz                                readiness
 package main
@@ -58,6 +65,8 @@ func run(args []string) error {
 	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
 	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
 	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
+	updateLog := fs.String("update-log", "", "update log for -index mode (empty = <index>.log, \"none\" disables durable updates)")
+	compactThreshold := fs.Int64("compact-threshold-bytes", 0, "auto-compact the update log past this size (0 = 64 MiB default, negative = manual /v1/compact only)")
 	alpha := fs.Float64("alpha", fastppv.DefaultAlpha, "teleporting probability")
 	eta := fs.Int("eta", 2, "default online iterations per query")
 	maxEta := fs.Int("max-eta", 8, "largest eta a client may request")
@@ -74,17 +83,27 @@ func run(args []string) error {
 	log.Printf("graph: %v", g.Stats())
 
 	opts := fastppv.Options{NumHubs: *hubs, Alpha: *alpha}
+	dio := fastppv.DiskIndexOptions{
+		BlockCacheBytes:       *blockCacheBytes,
+		CompactThresholdBytes: *compactThreshold,
+	}
+	switch *updateLog {
+	case "none":
+		dio.DisableUpdateLog = true
+	default:
+		dio.UpdateLogPath = *updateLog
+	}
 	var engine *fastppv.Engine
 	if *indexPath != "" {
 		var closeIndex func() error
-		engine, closeIndex, err = openOrBuildDiskIndex(g, opts, *indexPath, *blockCacheBytes)
+		engine, closeIndex, err = openOrBuildDiskIndex(g, opts, *indexPath, dio)
 		if err != nil {
 			return err
 		}
 		defer closeIndex()
 		off := engine.OfflineStats()
-		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s)",
-			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes))
+		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s, update log %s)",
+			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes), updateLogDesc(*indexPath, dio))
 	} else {
 		engine, err = fastppv.New(g, opts)
 		if err != nil {
@@ -135,8 +154,12 @@ func run(args []string) error {
 
 // openOrBuildDiskIndex serves from an existing index file, or runs the
 // offline phase into it first when it does not exist yet. Serving always goes
-// through OpenDiskIndex so reads are fronted by the hub-block cache.
-func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, cacheBytes int64) (*fastppv.Engine, func() error, error) {
+// through OpenDiskIndexWithOptions so reads are fronted by the hub-block
+// cache and updates land in the update log. No partial-file cleanup is needed
+// on the build path: precomputation streams into <path>.tmp and the close
+// function publishes the finished index atomically (or discards the
+// temporary file when Precompute failed).
+func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, dio fastppv.DiskIndexOptions) (*fastppv.Engine, func() error, error) {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		log.Printf("index %s not found, precomputing ...", path)
 		start := time.Now()
@@ -145,20 +168,26 @@ func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, c
 			return nil, nil, err
 		}
 		if err := builder.Precompute(); err != nil {
-			// Remove the partial file: closing it writes a well-formed
-			// footer over however many hubs made it to disk, and a later
-			// restart would silently serve that incomplete index.
 			closeBuilder()
-			os.Remove(path)
 			return nil, nil, err
 		}
 		if err := closeBuilder(); err != nil {
-			os.Remove(path)
 			return nil, nil, err
 		}
 		log.Printf("precomputed %s in %v", path, time.Since(start).Round(time.Millisecond))
 	}
-	return fastppv.OpenDiskIndex(g, opts, path, cacheBytes)
+	return fastppv.OpenDiskIndexWithOptions(g, opts, path, dio)
+}
+
+// updateLogDesc renders the update-log configuration for the startup line.
+func updateLogDesc(indexPath string, dio fastppv.DiskIndexOptions) string {
+	if dio.DisableUpdateLog {
+		return "disabled"
+	}
+	if dio.UpdateLogPath != "" {
+		return dio.UpdateLogPath
+	}
+	return indexPath + ".log"
 }
 
 func blockCacheDesc(bytes int64) string {

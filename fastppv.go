@@ -30,9 +30,13 @@
 package fastppv
 
 import (
+	"errors"
+	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
@@ -100,6 +104,22 @@ const InvalidNode = graph.InvalidNode
 // OpenDiskIndex and later reads through the engine can return it (wrapped).
 var ErrBadIndexFormat = ppvindex.ErrBadIndexFormat
 
+// ErrClosed reports an operation on a disk index store whose close function
+// has already run; queries against a closed engine fail with it (wrapped)
+// instead of reading a closed file descriptor or serving stale overlay hits.
+var ErrClosed = errors.New("fastppv: disk index store is closed")
+
+// ErrCompactionInProgress reports that Compact was called while another
+// compaction of the same index was still running.
+var ErrCompactionInProgress = ppvindex.ErrCompactionInProgress
+
+// DurabilityStats summarizes the durable-update machinery of a disk-served
+// index (update-log size, overlay population, compaction count).
+type DurabilityStats = ppvindex.DurabilityStats
+
+// CompactionResult reports what one compaction of a disk-served index did.
+type CompactionResult = ppvindex.CompactionResult
+
 // DefaultAlpha is the teleporting probability used throughout the paper.
 const DefaultAlpha = pagerank.DefaultAlpha
 
@@ -132,12 +152,62 @@ func SaveBinaryFile(path string, g *Graph) error { return graph.SaveBinaryFile(p
 // Precompute before Query.
 func New(g *Graph, opts Options) (*Engine, error) { return core.NewEngine(g, nil, opts) }
 
+// DefaultCompactThresholdBytes is the update-log size at which a disk-served
+// index compacts itself in the background, unless configured otherwise.
+const DefaultCompactThresholdBytes = 64 << 20
+
+// DiskIndexOptions tune the durable-update machinery of a disk-backed index
+// (NewWithDiskIndex and OpenDiskIndexWithOptions). The zero value enables the
+// update log at <index path>.log with the default compaction threshold and no
+// block cache restrictions beyond the package defaults.
+type DiskIndexOptions struct {
+	// BlockCacheBytes budgets an in-memory cache of decoded hub blocks
+	// between the engine and the disk: 0 means a 64 MiB default, negative
+	// disables caching (every fetched hub costs one random disk access, the
+	// raw Sect. 6.3 cost model).
+	BlockCacheBytes int64
+	// UpdateLogPath overrides where post-finalize index updates are logged;
+	// empty means <index path>.log.
+	UpdateLogPath string
+	// DisableUpdateLog turns durable updates off: incremental updates then
+	// live only in the in-memory overlay and are lost on restart (the
+	// pre-durability behaviour).
+	DisableUpdateLog bool
+	// CompactThresholdBytes triggers a background compaction once the update
+	// log grows past it; 0 means DefaultCompactThresholdBytes, negative
+	// disables automatic compaction (manual Compact still works).
+	CompactThresholdBytes int64
+}
+
+// storeConfig resolves the public knobs into the internal store config.
+func (o DiskIndexOptions) storeConfig(indexPath string) diskStoreConfig {
+	cfg := diskStoreConfig{cacheBytes: o.BlockCacheBytes}
+	if !o.DisableUpdateLog {
+		cfg.logPath = o.UpdateLogPath
+		if cfg.logPath == "" {
+			cfg.logPath = indexPath + ".log"
+		}
+		cfg.compactThreshold = o.CompactThresholdBytes
+		if cfg.compactThreshold == 0 {
+			cfg.compactThreshold = DefaultCompactThresholdBytes
+		}
+	}
+	return cfg
+}
+
 // NewWithDiskIndex creates a FastPPV engine whose hub prime PPVs are written
 // to (and later read from) the index file at path, for deployments where the
-// index should not live in memory. The returned close function releases the
-// file handles and must be called when the engine is no longer needed.
+// index should not live in memory. Records stream into <path>.tmp and the
+// finished index is renamed into place when it is finalized (by the first
+// read, or by the close function after a successful Precompute), so a crash
+// or failure mid-precompute never leaves a partial file at path.
+//
+// The returned close function releases the file handles and must be called
+// when the engine is no longer needed; if Precompute never succeeded it
+// discards the temporary file instead of publishing an incomplete index.
 func NewWithDiskIndex(g *Graph, opts Options, path string) (*Engine, func() error, error) {
-	store, err := newDiskStore(path, -1)
+	cfg := DiskIndexOptions{BlockCacheBytes: -1}.storeConfig(path)
+	store, err := newDiskStore(path, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -146,7 +216,13 @@ func NewWithDiskIndex(g *Graph, opts Options, path string) (*Engine, func() erro
 		store.Close()
 		return nil, nil, err
 	}
-	return engine, store.Close, nil
+	closer := func() error {
+		if !engine.Precomputed() {
+			return store.Abort()
+		}
+		return store.Close()
+	}
+	return engine, closer, nil
 }
 
 // BlockCacheStats summarizes the hub-block cache fronting a disk index.
@@ -162,9 +238,24 @@ type BlockCacheStats = ppvindex.BlockCacheStats
 // caching (every fetched hub costs one random disk access, the raw Sect. 6.3
 // cost model). opts must match the options used at precompute time.
 //
-// The returned close function releases the file handle.
+// Incremental updates applied through the engine are durable: each batch of
+// recomputed hub PPVs is committed to <path>.log before the update returns,
+// and reopening the index replays the log, so updates survive a restart. The
+// log is folded back into the base file by compaction (automatic past
+// DefaultCompactThresholdBytes, or on demand through the store's Compact
+// method / the daemon's /v1/compact endpoint). Use OpenDiskIndexWithOptions
+// to tune or disable this.
+//
+// The returned close function releases the file handles; afterwards queries
+// fail with ErrClosed (wrapped).
 func OpenDiskIndex(g *Graph, opts Options, path string, blockCacheBytes int64) (*Engine, func() error, error) {
-	store, err := openDiskStore(path, blockCacheBytes)
+	return OpenDiskIndexWithOptions(g, opts, path, DiskIndexOptions{BlockCacheBytes: blockCacheBytes})
+}
+
+// OpenDiskIndexWithOptions is OpenDiskIndex with explicit control over the
+// update log and compaction behaviour.
+func OpenDiskIndexWithOptions(g *Graph, opts Options, path string, dio DiskIndexOptions) (*Engine, func() error, error) {
+	store, err := openDiskStore(path, dio.storeConfig(path))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -198,6 +289,19 @@ func Evaluate(exact, approx Vector, k int) AccuracyReport {
 	return metrics.Evaluate(exact, approx, k)
 }
 
+// diskStoreConfig tunes a diskStore beyond its index path.
+type diskStoreConfig struct {
+	// cacheBytes budgets the hub-block cache: <0 disables it, 0 means the
+	// package default.
+	cacheBytes int64
+	// logPath is where post-finalize Puts are persisted; empty disables the
+	// update log (volatile overlay only).
+	logPath string
+	// compactThreshold triggers a background compaction once the update log
+	// grows past it; <=0 disables automatic compaction.
+	compactThreshold int64
+}
+
 // diskStore adapts the disk index writer/reader pair to the engine's
 // IndexStore interface. During precompute, Put streams to the writer; the
 // first Get finalizes the writer and opens the index for reading (guarded by
@@ -206,23 +310,52 @@ func Evaluate(exact, approx Vector, k int) AccuracyReport {
 // after finalization (incremental updates recomputing a hub) land in an
 // in-memory overlay that shadows the on-disk record, with the hub's cached
 // block invalidated.
+//
+// When an update log is configured, every post-finalize Put is also appended
+// to it and CommitUpdates (the engine's update-commit hook) fsyncs the batch,
+// so incremental updates survive a restart: opening the store replays the log
+// back into the overlay. Compact folds log + overlay into a rewritten base
+// file (built in <path>.tmp, atomically renamed over <path>) and resets the
+// log; in-flight reads drain on the old file descriptor before it is closed,
+// while new reads move to the freshly published state.
 type diskStore struct {
-	path       string
-	cacheBytes int64 // <0 disables the block cache, 0 means default
+	path string
+	cfg  diskStoreConfig
 
-	// state is published exactly once, when the writer->reader transition
-	// completes, and is immutable afterwards; the read hot path loads it
-	// without taking mu, so warm cache hits never serialize on a store-wide
-	// lock.
+	// state is the published read-side view. It is swapped atomically: once
+	// at the writer->reader transition, and again by every compaction. The
+	// read hot path loads it without taking mu, so warm cache hits never
+	// serialize on a store-wide lock.
 	state atomic.Pointer[diskReadState]
 
 	mu     sync.Mutex
 	writer *ppvindex.DiskWriter
 	reader *ppvindex.DiskIndex
-	cache  *ppvindex.BlockCache
+	log    *ppvindex.UpdateLog
+	closed bool
+	// logWedged flips when a compaction renamed the rewritten base into
+	// place but failed before re-binding the log to it: frames appended from
+	// then on would be bound to the replaced base and silently discarded on
+	// restart, so Puts fail instead until a retried compaction (which
+	// re-binds the log) or a restart recovers.
+	logWedged bool
+
+	compacting  atomic.Bool
+	compactions atomic.Int64
+	// logBytes/logRecords mirror the log counters so DurabilityStats can
+	// report them without taking mu (which compaction holds for its whole
+	// rewrite). Updated under mu, read atomically.
+	logBytes   atomic.Int64
+	logRecords atomic.Int64
 }
 
-// diskReadState is the immutable read-side view of a finalized store.
+// diskReadState is one immutable read-side view of a finalized store. The
+// overlay it carries is mutable (updates shadow base records through it), but
+// src and reader never change; compaction publishes a whole new state instead.
+// A retired state's descriptor is closed by DiskIndex.Close, which drains
+// in-flight record reads first; a straggler that loaded this state before it
+// was unpublished either completes against the still-open descriptor or gets
+// ErrIndexClosed and retries on the current state.
 type diskReadState struct {
 	// src is where reads come from: the block cache when enabled, the raw
 	// reader otherwise.
@@ -231,21 +364,34 @@ type diskReadState struct {
 	// hubs that are also in the on-disk directory, so membership queries can
 	// keep delegating to src.
 	overlay *ppvindex.MemIndex
+	// reader owns the file descriptor behind src; cache is the block cache
+	// fronting it (nil when caching is disabled).
+	reader *ppvindex.DiskIndex
+	cache  *ppvindex.BlockCache
 }
 
 // newDiskStore creates a store in write mode: Puts stream to a fresh index
-// file at path until the first Get finalizes it.
-func newDiskStore(path string, cacheBytes int64) (*diskStore, error) {
+// file at path until the first Get finalizes it. A leftover update log from a
+// previous index at the same path is left alone until the new index is
+// actually published (finalize time) — if this rebuild fails or crashes, the
+// old index and its durable updates remain fully intact.
+func newDiskStore(path string, cfg diskStoreConfig) (*diskStore, error) {
 	w, err := ppvindex.CreateDisk(path)
 	if err != nil {
 		return nil, err
 	}
-	return &diskStore{path: path, cacheBytes: cacheBytes, writer: w}, nil
+	return &diskStore{path: path, cfg: cfg, writer: w}, nil
 }
 
-// openDiskStore opens an existing index file in read mode.
-func openDiskStore(path string, cacheBytes int64) (*diskStore, error) {
-	s := &diskStore{path: path, cacheBytes: cacheBytes}
+// openDiskStore opens an existing index file in read mode, replaying the
+// update log (when configured) into the overlay. A stale <path>.tmp from a
+// crashed precompute or compaction is removed: whatever it held either never
+// completed or was already renamed into place.
+func openDiskStore(path string, cfg diskStoreConfig) (*diskStore, error) {
+	if err := os.Remove(path + ".tmp"); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	s := &diskStore{path: path, cfg: cfg}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ensureReaderLocked(); err != nil {
@@ -257,33 +403,84 @@ func openDiskStore(path string, cacheBytes int64) (*diskStore, error) {
 func (s *diskStore) Put(h NodeID, ppv Vector) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.writer != nil {
 		return s.writer.Put(h, ppv)
 	}
-	// Finalized: the rewrite (an incremental update recomputing this hub)
-	// shadows the on-disk record and evicts the stale cached block. The
-	// overlay Put below never errors.
+	// Finalized: the rewrite (an incremental update recomputing this hub) is
+	// logged first — write-ahead discipline — then shadows the on-disk record
+	// and evicts the stale cached block. The overlay Put below never errors.
 	if err := s.ensureReaderLocked(); err != nil {
 		return err
 	}
-	if err := s.state.Load().overlay.Put(h, ppv); err != nil {
+	if s.log != nil {
+		if s.logWedged {
+			return fmt.Errorf("fastppv: update log is out of sync with the rewritten base (a compaction failed after its rename); retry compaction or restart to recover")
+		}
+		if err := s.log.Append(h, ppv); err != nil {
+			return fmt.Errorf("fastppv: appending hub %d to the update log: %w", h, err)
+		}
+		s.logBytes.Store(s.log.SizeBytes())
+		s.logRecords.Store(s.log.Records())
+	}
+	st := s.state.Load()
+	if err := st.overlay.Put(h, ppv); err != nil {
 		return err
 	}
-	if s.cache != nil {
-		s.cache.Invalidate([]NodeID{h})
+	if st.cache != nil {
+		st.cache.Invalidate([]NodeID{h})
+	}
+	return nil
+}
+
+// CommitUpdates implements core.UpdateCommitter: it makes the batch of Puts
+// staged by one incremental update durable with a single fsync, and kicks off
+// a background compaction when the log has outgrown its threshold.
+func (s *diskStore) CommitUpdates() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var trigger bool
+	if s.log != nil {
+		if err := s.log.Commit(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("fastppv: committing the update log: %w", err)
+		}
+		trigger = s.cfg.compactThreshold > 0 && s.log.SizeBytes() >= s.cfg.compactThreshold
+	}
+	s.mu.Unlock()
+	if trigger && !s.compacting.Load() {
+		go func() {
+			// Best effort: a failed or concurrent background compaction is
+			// retried at the next commit past the threshold.
+			_, _ = s.Compact()
+		}()
 	}
 	return nil
 }
 
 func (s *diskStore) Get(h NodeID) (Vector, bool, error) {
-	st, err := s.reading()
-	if err != nil {
-		return nil, false, err
+	for {
+		st, err := s.reading()
+		if err != nil {
+			return nil, false, err
+		}
+		if v, ok, _ := st.overlay.Get(h); ok {
+			return v, true, nil
+		}
+		v, ok, err := st.src.Get(h)
+		if err != nil && errors.Is(err, ppvindex.ErrIndexClosed) && s.state.Load() != st {
+			// The state was retired under us (compaction swap, or Close);
+			// retry against the current one — reading() reports ErrClosed
+			// when the whole store is gone.
+			continue
+		}
+		return v, ok, err
 	}
-	if v, ok, _ := st.overlay.Get(h); ok {
-		return v, true, nil
-	}
-	return st.src.Get(h)
 }
 
 func (s *diskStore) Has(h NodeID) bool {
@@ -320,17 +517,39 @@ func (s *diskStore) SizeBytes() int64 {
 
 // BlockCacheStats reports the hub-block cache counters; ok is false when the
 // store runs without a cache. The serving layer's /v1/stats exposes these.
+// Lock-free (state load only), so stats stay responsive during a compaction.
 func (s *diskStore) BlockCacheStats() (BlockCacheStats, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cache == nil {
+	st := s.state.Load()
+	if st == nil || st.cache == nil {
 		return BlockCacheStats{}, false
 	}
-	return s.cache.Stats(), true
+	return st.cache.Stats(), true
+}
+
+// DurabilityStats reports the update-log and overlay counters; ok is false
+// while the store is still in write mode (nothing finalized yet) or closed.
+// Lock-free: the log counters come from mirrored atomics, so /v1/stats does
+// not stall behind a running compaction (which holds mu for its rewrite).
+func (s *diskStore) DurabilityStats() (DurabilityStats, bool) {
+	st := s.state.Load()
+	if st == nil {
+		return DurabilityStats{}, false
+	}
+	ds := DurabilityStats{
+		LogEnabled:  s.cfg.logPath != "",
+		OverlayHubs: st.overlay.Len(),
+		Compactions: s.compactions.Load(),
+	}
+	if ds.LogEnabled {
+		ds.LogBytes = s.logBytes.Load()
+		ds.LogRecords = s.logRecords.Load()
+	}
+	return ds, true
 }
 
 // reading returns the read-side state, opening the reader first if the store
-// is still in write mode. The fast path is a single atomic load.
+// is still in write mode. The fast path is a single atomic load — the same
+// cost as before durable updates existed, so warm-read latency is unchanged.
 func (s *diskStore) reading() (*diskReadState, error) {
 	if st := s.state.Load(); st != nil {
 		return st, nil
@@ -344,11 +563,16 @@ func (s *diskStore) reading() (*diskReadState, error) {
 }
 
 // ensureReaderLocked finalizes the writer (if still open), opens the index
-// for reading and publishes the read state. Callers must hold s.mu.
+// for reading, replays the update log into the overlay and publishes the read
+// state. Callers must hold s.mu.
 func (s *diskStore) ensureReaderLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
 	if s.reader != nil {
 		return nil
 	}
+	freshBase := s.writer != nil
 	if s.writer != nil {
 		if err := s.writer.Close(); err != nil {
 			return err
@@ -359,30 +583,226 @@ func (s *diskStore) ensureReaderLocked() error {
 	if err != nil {
 		return err
 	}
-	s.reader = r
-	st := &diskReadState{src: ppvindex.Index(r), overlay: ppvindex.NewMemIndex()}
-	if s.cacheBytes >= 0 {
-		s.cache = ppvindex.NewBlockCache(r, s.cacheBytes, 0)
-		st.src = s.cache
+	st := s.newReadState(r)
+	if s.cfg.logPath != "" {
+		if freshBase {
+			// The base was just rebuilt from scratch; a log from the previous
+			// index must not replay onto it. (The binding check below covers
+			// the cross-process crash cases; this keeps even a byte-identical
+			// rebuild from resurrecting pre-rebuild updates.)
+			if err := os.Remove(s.cfg.logPath); err != nil && !os.IsNotExist(err) {
+				r.Close()
+				return err
+			}
+		}
+		lg, err := ppvindex.OpenUpdateLog(s.cfg.logPath, r.SizeBytes(), r.Len(), func(h NodeID, ppv Vector) error {
+			// A logged hub missing from the base directory means the log does
+			// not belong to this index file; refusing keeps the overlay
+			// invariant (overlay ⊆ directory) and surfaces the mismatch.
+			if !r.Has(h) {
+				return fmt.Errorf("%w: update log %s has a record for hub %d not present in %s",
+					ErrBadIndexFormat, s.cfg.logPath, h, s.path)
+			}
+			return st.overlay.Put(h, ppv)
+		})
+		if err != nil {
+			r.Close()
+			return err
+		}
+		s.log = lg
+		s.logBytes.Store(lg.SizeBytes())
+		s.logRecords.Store(lg.Records())
 	}
+	s.reader = r
 	s.state.Store(st)
 	return nil
 }
 
-// Close releases the underlying file handles.
+// newReadState builds a read-side view over r, wiring the block cache when
+// configured. Callers must hold s.mu.
+func (s *diskStore) newReadState(r *ppvindex.DiskIndex) *diskReadState {
+	st := &diskReadState{src: ppvindex.Index(r), overlay: ppvindex.NewMemIndex(), reader: r}
+	if s.cfg.cacheBytes >= 0 {
+		st.cache = ppvindex.NewBlockCache(r, s.cfg.cacheBytes, 0)
+		st.src = st.cache
+	}
+	return st
+}
+
+// Compact folds the update log and overlay into a rewritten base index:
+// every hub record is streamed into <path>.tmp (overlay version when present,
+// base record otherwise), the finished file is fsync'd and atomically renamed
+// over <path>, the log is reset, and a fresh read state over the new file is
+// published. Queries are served throughout — the hot path keeps reading the
+// old state, whose descriptor stays open until in-flight reads drain — while
+// Puts wait on mu for the duration. At most one compaction runs at a time.
+func (s *diskStore) Compact() (CompactionResult, error) {
+	var res CompactionResult
+	if !s.compacting.CompareAndSwap(false, true) {
+		return res, ErrCompactionInProgress
+	}
+	defer s.compacting.Store(false)
+	start := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return res, ErrClosed
+	}
+	if err := s.ensureReaderLocked(); err != nil {
+		return res, err
+	}
+	st := s.state.Load()
+	res.TotalHubs = st.reader.Len()
+	var logBytes, logRecords int64
+	if s.log != nil {
+		// An update batch between its first Put and its CommitUpdates has
+		// appended-but-undurable frames; folding its overlay entries now
+		// would make half the batch durable. Bail and let the trigger retry
+		// after the commit.
+		if s.log.Uncommitted() {
+			return res, ppvindex.ErrUpdateInFlight
+		}
+		logBytes, logRecords = s.log.SizeBytes(), s.log.Records()
+	}
+	if st.overlay.Len() == 0 && logRecords == 0 {
+		// Nothing to fold in; report the current file size and return.
+		res.IndexBytes = st.reader.SizeBytes()
+		res.DurationMS = float64(time.Since(start)) / 1e6
+		return res, nil
+	}
+
+	w, err := ppvindex.CreateDisk(s.path)
+	if err != nil {
+		return res, err
+	}
+	for _, h := range st.reader.Hubs() {
+		v, ok, err := st.overlay.Get(h)
+		if ok {
+			res.RewrittenHubs++
+		} else {
+			// Read the base record straight from the descriptor, not through
+			// the block cache: a full-index sweep would evict the hot set.
+			if v, ok, err = st.reader.Get(h); err != nil {
+				w.Abort()
+				return res, fmt.Errorf("fastppv: compaction reading hub %d: %w", h, err)
+			} else if !ok {
+				w.Abort()
+				return res, fmt.Errorf("fastppv: compaction: hub %d vanished from the base index", h)
+			}
+		}
+		if err := w.Put(h, v); err != nil {
+			w.Abort()
+			return res, fmt.Errorf("fastppv: compaction writing hub %d: %w", h, err)
+		}
+	}
+	// Close fsyncs the file and its directory, then atomically renames the
+	// rewritten file over s.path. From here the durable on-disk base owns
+	// every logged update, so resetting the log is safe; a crash before the
+	// reset leaves old log frames whose base binding no longer matches the
+	// new file, so the next open discards instead of replaying them.
+	if err := w.Close(); err != nil {
+		return res, fmt.Errorf("fastppv: compaction finalizing rewritten index: %w", err)
+	}
+	r, err := ppvindex.OpenDisk(s.path)
+	if err != nil {
+		// The old state keeps serving: its overlay still shadows the base
+		// records the rewrite folded in, so answers stay correct, and the
+		// rewritten file on disk already holds the merged data for recovery.
+		// The log, however, is still bound to the replaced base — frames
+		// appended now would be discarded on restart — so wedge updates
+		// until a retried compaction re-binds it.
+		s.logWedged = s.log != nil
+		return res, fmt.Errorf("fastppv: compaction reopening rewritten index: %w", err)
+	}
+	if s.log != nil {
+		if err := s.log.Reset(r.SizeBytes(), r.Len()); err != nil {
+			r.Close()
+			s.logWedged = true
+			return res, fmt.Errorf("fastppv: compaction resetting the update log: %w", err)
+		}
+		s.logBytes.Store(s.log.SizeBytes())
+		s.logRecords.Store(s.log.Records())
+	}
+	newSt := s.newReadState(r)
+	old := s.state.Swap(newSt)
+	s.reader = r
+	if old != nil {
+		// DiskIndex.Close drains in-flight record reads before releasing the
+		// descriptor; stragglers still holding the old state retry against
+		// the new one.
+		old.reader.Close()
+	}
+	s.logWedged = false
+	s.compactions.Add(1)
+
+	res.LogRecordsFolded = logRecords
+	res.LogBytesFreed = logBytes
+	res.IndexBytes = r.SizeBytes()
+	res.DurationMS = float64(time.Since(start)) / 1e6
+	return res, nil
+}
+
+// Close releases the underlying file handles. The published read state is
+// cleared first, so late Gets fail with ErrClosed instead of reading a closed
+// descriptor or serving stale overlay hits; in-flight reads drain before the
+// descriptor goes away. A store still in write mode is finalized (the index
+// file is published) — use Abort to discard instead.
 func (s *diskStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.closeLocked(false)
+}
+
+// Abort is Close for the failure path: a store still in write mode discards
+// its temporary file instead of publishing it. A finalized store closes
+// normally.
+func (s *diskStore) Abort() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked(true)
+}
+
+func (s *diskStore) closeLocked(discard bool) error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.state.Store(nil)
+	var firstErr error
 	if s.writer != nil {
-		if err := s.writer.Close(); err != nil {
-			return err
+		var err error
+		if discard {
+			err = s.writer.Abort()
+		} else {
+			err = s.writer.Close()
+			if err == nil && s.cfg.logPath != "" {
+				// A fresh base was just published without ever opening the
+				// log; drop any log left over from the previous index so a
+				// later open does not consider replaying it. (Its binding
+				// would reject it anyway unless the rebuild is
+				// byte-identical.)
+				if rmErr := os.Remove(s.cfg.logPath); rmErr != nil && !os.IsNotExist(rmErr) {
+					err = rmErr
+				}
+			}
 		}
 		s.writer = nil
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if s.reader != nil {
-		err := s.reader.Close()
+		if err := s.reader.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		s.reader = nil
-		return err
 	}
-	return nil
+	if s.log != nil {
+		if err := s.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.log = nil
+	}
+	return firstErr
 }

@@ -2,6 +2,7 @@ package fastppv
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -380,5 +381,494 @@ func TestPublicAPIDynamicUpdate(t *testing.T) {
 	if after.Estimate.Get(target) <= before.Estimate.Get(target) {
 		t.Errorf("adding the edge 0->%d should raise its score: %.6f -> %.6f",
 			target, before.Estimate.Get(target), after.Estimate.Get(target))
+	}
+}
+
+// graphWithEdge rebuilds g with one extra directed edge, reproducing the
+// graph state a restarted daemon would reload after the update was applied.
+func graphWithEdge(t testing.TB, g *Graph, e Edge) *Graph {
+	t.Helper()
+	b := NewBuilder(true)
+	b.EnsureNodes(g.NumNodes())
+	g.Edges(func(ed Edge) bool {
+		b.MustAddEdge(ed.From, ed.To)
+		return true
+	})
+	b.MustAddEdge(e.From, e.To)
+	return b.Finalize()
+}
+
+// durabilityOf fetches the durable-update counters of a disk-served engine.
+func durabilityOf(t testing.TB, e *Engine) DurabilityStats {
+	t.Helper()
+	dss, ok := e.Index().(interface {
+		DurabilityStats() (DurabilityStats, bool)
+	})
+	if !ok {
+		t.Fatal("disk-backed index should expose durability stats")
+	}
+	st, enabled := dss.DurabilityStats()
+	if !enabled {
+		t.Fatal("durability stats should be enabled on an opened index")
+	}
+	return st
+}
+
+// compactIndex runs one compaction of a disk-served engine's store.
+func compactIndex(t testing.TB, e *Engine) CompactionResult {
+	t.Helper()
+	c, ok := e.Index().(interface {
+		Compact() (CompactionResult, error)
+	})
+	if !ok {
+		t.Fatal("disk-backed index should expose Compact")
+	}
+	res, err := c.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	return res
+}
+
+// buildDiskIndex precomputes a hub index for g into path and finalizes it.
+func buildDiskIndex(t testing.TB, g *Graph, numHubs int, path string) {
+	t.Helper()
+	build, closeBuild, err := NewWithDiskIndex(g, Options{NumHubs: numHubs}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := build.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeBuild(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIDiskUpdateDurability is the restart-durability acceptance
+// test: updates applied to a disk-served index must survive closing and
+// reopening the index, because each update batch is committed to the update
+// log and replayed on open.
+func TestPublicAPIDiskUpdateDurability(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 11)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex: %v", err)
+	}
+	// Grow an edge out of a hub: the hub's own prime PPV always has a
+	// non-zero self entry, so at least that hub is recomputed and the overlay
+	// (and log) are guaranteed non-empty.
+	from := engine.Hubs().Hubs()[0]
+	target := NodeID(250)
+	if target == from {
+		target = NodeID(251)
+	}
+	upd := GraphUpdate{AddedEdges: []Edge{{From: from, To: target}}}
+	ustats, err := engine.ApplyUpdate(upd)
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if ustats.AffectedHubs == 0 {
+		t.Fatal("update out of a hub should recompute at least that hub")
+	}
+	after, err := engine.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := durabilityOf(t, engine)
+	if !ds.LogEnabled {
+		t.Fatal("OpenDiskIndex should enable the update log by default")
+	}
+	if ds.OverlayHubs != ustats.AffectedHubs || ds.LogRecords != int64(ustats.AffectedHubs) {
+		t.Errorf("durability stats %+v do not match the %d recomputed hubs", ds, ustats.AffectedHubs)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	if st, err := os.Stat(path + ".log"); err != nil || st.Size() == 0 {
+		t.Fatalf("update log missing or empty after close: %v", err)
+	}
+
+	// "Restart": reopen the index against the post-update graph.
+	g2 := graphWithEdge(t, g, Edge{From: from, To: target})
+	engine2, closeIndex2, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex after restart: %v", err)
+	}
+	defer closeIndex2()
+	ds2 := durabilityOf(t, engine2)
+	if ds2.OverlayHubs != ustats.AffectedHubs || ds2.LogRecords != int64(ustats.AffectedHubs) {
+		t.Errorf("replay restored %+v, want %d overlay hubs", ds2, ustats.AffectedHubs)
+	}
+	res2, err := engine2.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res2.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("post-restart estimate differs from pre-restart one by %v", d)
+	}
+	if res2.Estimate.Get(target) <= 0 {
+		t.Errorf("the recomputed score of %d should survive the restart", target)
+	}
+}
+
+// TestPublicAPICompaction folds the update log into the base file and checks
+// the log shrinks to empty, answers are unchanged, and a restart needs no
+// replay.
+func TestPublicAPICompaction(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 12)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := engine.Hubs().Hubs()[0]
+	target := NodeID(250)
+	ustats, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: from, To: target}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := engine.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := compactIndex(t, engine)
+	if res.RewrittenHubs != ustats.AffectedHubs || res.LogRecordsFolded != int64(ustats.AffectedHubs) {
+		t.Errorf("compaction result %+v does not match the %d recomputed hubs", res, ustats.AffectedHubs)
+	}
+	if res.TotalHubs != 30 {
+		t.Errorf("compaction rewrote %d hubs, want 30", res.TotalHubs)
+	}
+	ds := durabilityOf(t, engine)
+	if ds.OverlayHubs != 0 || ds.LogRecords != 0 || ds.Compactions != 1 {
+		t.Errorf("after compaction: %+v, want empty overlay and log", ds)
+	}
+	post, err := engine.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := post.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("compaction changed the answer by %v", d)
+	}
+	// A second compaction with nothing pending is a no-op.
+	res2 := compactIndex(t, engine)
+	if res2.RewrittenHubs != 0 || res2.LogRecordsFolded != 0 {
+		t.Errorf("idle compaction rewrote %+v", res2)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the base file alone carries the updates now.
+	g2 := graphWithEdge(t, g, Edge{From: from, To: target})
+	engine2, closeIndex2, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIndex2()
+	ds2 := durabilityOf(t, engine2)
+	if ds2.OverlayHubs != 0 || ds2.LogRecords != 0 {
+		t.Errorf("restart after compaction should need no replay, got %+v", ds2)
+	}
+	res3, err := engine2.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res3.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("post-compaction restart changed the answer by %v", d)
+	}
+}
+
+// TestPublicAPICompactionCrashRecovery simulates the two crash points of the
+// compaction commit protocol: before the atomic rename (a stale .tmp file is
+// left behind) and after the rename but before the log reset (the old log
+// replays idempotently onto the already-rewritten base).
+func TestPublicAPICompactionCrashRecovery(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 13)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := engine.Hubs().Hubs()[0]
+	target := NodeID(250)
+	ustats, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: from, To: target}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := engine.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	preCompactionLog, err := os.ReadFile(path + ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := graphWithEdge(t, g, Edge{From: from, To: target})
+
+	// Crash point 1: the rewrite died before the rename — a partial .tmp
+	// exists, base and log are untouched. Recovery must ignore the leftovers
+	// and serve base + replayed log.
+	if err := os.WriteFile(path+".tmp", []byte("partial compaction output"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	engine2, closeIndex2, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex with a stale .tmp: %v", err)
+	}
+	res2, err := engine2.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res2.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("recovery from a pre-rename crash changed the answer by %v", d)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("stale .tmp should be removed on open (err=%v)", err)
+	}
+	// Now actually compact, so the base file owns the updates ...
+	compactIndex(t, engine2)
+	if err := closeIndex2(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash point 2: ... and pretend the crash hit between the rename and
+	// the log reset by restoring the pre-compaction log. The log's header is
+	// bound to the pre-compaction base file, so the open either discards it
+	// (binding mismatch — the records already live in the rewritten base) or,
+	// if the rewritten base happens to bind identically, replays the same
+	// values idempotently. Both ways the answers must be unchanged.
+	if err := os.WriteFile(path+".log", preCompactionLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	engine3, closeIndex3, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex after a post-rename crash: %v", err)
+	}
+	defer closeIndex3()
+	ds := durabilityOf(t, engine3)
+	if ds.LogRecords != 0 && ds.LogRecords != int64(ustats.AffectedHubs) {
+		t.Errorf("restored log must be discarded or fully replayed, got %+v (update recomputed %d hubs)",
+			ds, ustats.AffectedHubs)
+	}
+	if int64(ds.OverlayHubs) != ds.LogRecords {
+		t.Errorf("overlay (%d hubs) out of sync with replayed records (%d)", ds.OverlayHubs, ds.LogRecords)
+	}
+	res3, err := engine3.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res3.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("post-rename crash recovery changed the answer by %v", d)
+	}
+}
+
+// TestPublicAPICompactionDuringQueries compacts while concurrent queries
+// hammer the engine: answers must stay correct throughout (the old read state
+// drains before its descriptor closes) and the log must end up empty. Run
+// with -race this doubles as the swap/drain data-race regression test.
+func TestPublicAPICompactionDuringQueries(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 14)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIndex()
+	from := engine.Hubs().Hubs()[0]
+	if _, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: from, To: 250}}}); err != nil {
+		t.Fatal(err)
+	}
+	const probes = 16
+	expected := make([]Vector, probes)
+	for q := 0; q < probes; q++ {
+		res, err := engine.Query(NodeID(q), DefaultStop())
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[q] = res.Estimate
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := w; ; q = (q + 1) % probes {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := engine.Query(NodeID(q), DefaultStop())
+				if err != nil {
+					errc <- err
+					return
+				}
+				if d := res.Estimate.L1Distance(expected[q]); d > 1e-12 {
+					errc <- fmt.Errorf("query %d drifted by %v during compaction", q, d)
+					return
+				}
+			}
+		}(w)
+	}
+
+	res := compactIndex(t, engine)
+	if res.LogRecordsFolded == 0 {
+		t.Error("compaction under load should have folded the update log")
+	}
+	ds := durabilityOf(t, engine)
+	if ds.LogRecords != 0 || ds.LogBytes > 24 /* bare header */ || ds.OverlayHubs != 0 {
+		t.Errorf("log not shrunk to empty under concurrent queries: %+v", ds)
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIClosedDiskIndex: after the close function runs, queries must
+// fail with ErrClosed instead of reading a closed descriptor or serving stale
+// overlay hits.
+func TestPublicAPIClosedDiskIndex(t *testing.T) {
+	g := buildTestGraph(t, 200, 3, 15)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 20, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 20}, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Query(0, DefaultStop()); err != nil {
+		t.Fatalf("query before close: %v", err)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeIndex(); err != nil {
+		t.Errorf("second close should be a no-op, got %v", err)
+	}
+	if _, err := engine.Query(0, DefaultStop()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close = %v, want ErrClosed", err)
+	}
+	if _, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: 0, To: 1}}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("update after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPublicAPIPrecomputeFailureLeavesNoIndexFile: the close function of a
+// never-precomputed disk engine must discard the temporary file instead of
+// publishing a partial index.
+func TestPublicAPIPrecomputeFailureLeavesNoIndexFile(t *testing.T) {
+	g := buildTestGraph(t, 100, 3, 16)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	_, closeIndex, err := NewWithDiskIndex(g, Options{NumHubs: 10}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precompute never ran (standing in for a failed one).
+	if err := closeIndex(); err != nil {
+		t.Fatalf("close without precompute: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("index file published without a successful Precompute (err=%v)", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary file left behind (err=%v)", err)
+	}
+}
+
+// TestPublicAPIRebuildPreservesOrDiscardsLog: an aborted rebuild must leave
+// the old index and its durable updates (the log) fully intact, while a
+// completed rebuild must not let the old log replay onto the fresh index.
+func TestPublicAPIRebuildPreservesOrDiscardsLog(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 17)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := engine.Hubs().Hubs()[0]
+	ustats, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: from, To: 250}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := engine.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graphWithEdge(t, g, Edge{From: from, To: 250})
+
+	// A rebuild that never completes (Precompute failed / crashed) must not
+	// have touched the published index or its log.
+	_, closeAborted, err := NewWithDiskIndex(g2, Options{NumHubs: 30}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeAborted(); err != nil {
+		t.Fatal(err)
+	}
+	engine2, closeIndex2, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 0)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex after an aborted rebuild: %v", err)
+	}
+	ds := durabilityOf(t, engine2)
+	if ds.OverlayHubs != ustats.AffectedHubs {
+		t.Errorf("aborted rebuild lost the durable updates: %+v, want %d overlay hubs", ds, ustats.AffectedHubs)
+	}
+	res2, err := engine2.Query(from, DefaultStop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res2.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("aborted rebuild changed the answer by %v", d)
+	}
+	if err := closeIndex2(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A completed rebuild starts from a clean slate: no stale overlay.
+	rebuilt, closeRebuilt, err := NewWithDiskIndex(g2, Options{NumHubs: 30}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeRebuilt(); err != nil {
+		t.Fatal(err)
+	}
+	engine3, closeIndex3, err := OpenDiskIndex(g2, Options{NumHubs: 30}, path, 0)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex after a completed rebuild: %v", err)
+	}
+	defer closeIndex3()
+	ds3 := durabilityOf(t, engine3)
+	if ds3.OverlayHubs != 0 || ds3.LogRecords != 0 {
+		t.Errorf("completed rebuild should discard the old log, got %+v", ds3)
 	}
 }

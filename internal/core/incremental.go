@@ -43,6 +43,16 @@ type UpdateStats struct {
 	Duration time.Duration
 }
 
+// UpdateCommitter is implemented by index stores that stage incremental
+// update writes durably (e.g. behind a write-ahead log) and need an explicit
+// commit: ApplyUpdate calls CommitUpdates exactly once, after every staged
+// Put of one update has been handed to the store, so the store can make the
+// whole batch durable with a single fsync. Stores without durability concerns
+// (the in-memory index) simply don't implement it.
+type UpdateCommitter interface {
+	CommitUpdates() error
+}
+
 // ApplyUpdate implements the dynamic-graph extension sketched in the paper's
 // future work (Sect. 7): when the graph changes, only the prime PPVs whose
 // prime subgraph can reach a modified node are recomputed, the rest of the
@@ -123,6 +133,15 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 	for _, h := range affected {
 		if err := e.index.Put(h, staged[h]); err != nil {
 			return stats, fmt.Errorf("core: re-indexing hub %d: %w", h, err)
+		}
+	}
+	// Commit the staged writes as one durable batch before adopting the new
+	// graph: a store that logs updates fsyncs here, so either the whole batch
+	// is durable or the update reports failure (and the serving layer flips
+	// the replica to inconsistent).
+	if c, ok := e.index.(UpdateCommitter); ok {
+		if err := c.CommitUpdates(); err != nil {
+			return stats, fmt.Errorf("core: committing index update: %w", err)
 		}
 	}
 	e.g = newGraph

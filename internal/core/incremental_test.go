@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"fastppv/internal/gen"
 	"fastppv/internal/graph"
 	"fastppv/internal/hub"
+	"fastppv/internal/ppvindex"
+	"fastppv/internal/sparse"
 )
 
 func TestApplyUpdateMatchesFullRebuild(t *testing.T) {
@@ -155,5 +158,83 @@ func TestApplyUpdateGrowsNodeSet(t *testing.T) {
 	}
 	if res.Estimate.Get(34) == 0 {
 		t.Errorf("new node 34 is unreachable from node 0 after the update")
+	}
+}
+
+// committingStore wraps a MemIndex and records UpdateCommitter calls: puts
+// since the last commit and how often CommitUpdates ran.
+type committingStore struct {
+	*ppvindex.MemIndex
+	uncommittedPuts int
+	commits         int
+	failCommit      bool
+}
+
+func (c *committingStore) Put(h graph.NodeID, ppv sparse.Vector) error {
+	c.uncommittedPuts++
+	return c.MemIndex.Put(h, ppv)
+}
+
+func (c *committingStore) CommitUpdates() error {
+	if c.failCommit {
+		return errors.New("commit failed")
+	}
+	c.commits++
+	c.uncommittedPuts = 0
+	return nil
+}
+
+// TestApplyUpdateCommitsStagedWrites: an index store implementing
+// UpdateCommitter must see exactly one CommitUpdates call per ApplyUpdate,
+// after every staged Put of the batch.
+func TestApplyUpdateCommitsStagedWrites(t *testing.T) {
+	g, err := gen.RandomDirected(60, 3, 9)
+	if err != nil {
+		t.Fatalf("RandomDirected: %v", err)
+	}
+	store := &committingStore{MemIndex: ppvindex.NewMemIndex()}
+	e, err := NewEngine(g, store, exactOptions(8))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	if store.commits != 0 {
+		t.Fatalf("Precompute should not commit updates, saw %d commits", store.commits)
+	}
+	store.uncommittedPuts = 0
+
+	stats, err := e.ApplyUpdate(GraphUpdate{AddedEdges: []graph.Edge{{From: 0, To: 30}}})
+	if err != nil {
+		t.Fatalf("ApplyUpdate: %v", err)
+	}
+	if store.commits != 1 {
+		t.Errorf("ApplyUpdate ran %d commits, want exactly 1", store.commits)
+	}
+	if store.uncommittedPuts != 0 {
+		t.Errorf("%d staged puts left uncommitted after ApplyUpdate (affected %d hubs)",
+			store.uncommittedPuts, stats.AffectedHubs)
+	}
+}
+
+// TestApplyUpdateCommitFailureIsReported: a failing commit must surface as an
+// ApplyUpdate error (the serving layer flips the replica to inconsistent).
+func TestApplyUpdateCommitFailureIsReported(t *testing.T) {
+	g, err := gen.RandomDirected(60, 3, 10)
+	if err != nil {
+		t.Fatalf("RandomDirected: %v", err)
+	}
+	store := &committingStore{MemIndex: ppvindex.NewMemIndex()}
+	e, err := NewEngine(g, store, exactOptions(8))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.Precompute(); err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	store.failCommit = true
+	if _, err := e.ApplyUpdate(GraphUpdate{AddedEdges: []graph.Edge{{From: 0, To: 30}}}); err == nil {
+		t.Error("ApplyUpdate with a failing commit should report the error")
 	}
 }

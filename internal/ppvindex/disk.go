@@ -8,8 +8,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"fastppv/internal/graph"
 	"fastppv/internal/sparse"
@@ -40,15 +43,28 @@ const diskMagic = uint32('F') | uint32('P')<<8 | uint32('I')<<16 | uint32('1')<<
 // ErrBadIndexFormat reports a corrupt or foreign index file.
 var ErrBadIndexFormat = errors.New("ppvindex: bad index file format")
 
+// ErrIndexClosed reports a record read against a DiskIndex whose Close has
+// run. Readers that hold a retired index (one swapped out by a compaction)
+// see it and retry against the current one.
+var ErrIndexClosed = errors.New("ppvindex: disk index is closed")
+
 // DiskWriter streams prime PPVs into an index file. It buffers only the
 // directory in memory, so precomputing indexes much larger than RAM is
 // possible. Entries must be written with Put and the writer must be closed to
 // finalize the directory.
+//
+// The writer streams into <path>.tmp and Close atomically renames the
+// finished file into place, so a crash mid-precompute can never leave a
+// partial (or partially overwritten) file at the final path: readers either
+// see the complete old index, the complete new one, or no file at all.
 type DiskWriter struct {
 	f       *os.File
 	w       *bufio.Writer
+	path    string // final path, populated by the Close rename
+	tmpPath string // where records actually stream
 	offset  uint64
 	entries []dirEntry
+	seen    map[graph.NodeID]struct{}
 	closed  bool
 }
 
@@ -57,23 +73,28 @@ type dirEntry struct {
 	offset uint64
 }
 
-// CreateDisk creates (truncates) an index file for writing.
+// CreateDisk creates an index file for writing. Records stream into
+// <path>.tmp; the file appears at path only when Close succeeds.
 func CreateDisk(path string) (*DiskWriter, error) {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
-	return &DiskWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
+	return &DiskWriter{
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<20),
+		path:    path,
+		tmpPath: tmp,
+		seen:    make(map[graph.NodeID]struct{}),
+	}, nil
 }
 
-// Put appends the prime PPV of hub h to the index file. Entries are written
-// in node order for determinism.
-func (d *DiskWriter) Put(h graph.NodeID, ppv sparse.Vector) error {
-	if d.closed {
-		return errors.New("ppvindex: Put on closed DiskWriter")
-	}
-	d.entries = append(d.entries, dirEntry{hub: h, offset: d.offset})
-
+// encodeRecord serializes one hub record in the shared binary layout (hub,
+// count, count x {node, score}), entries in ascending node order for
+// determinism. The disk index records and the update-log payloads use the
+// same encoding.
+func encodeRecord(h graph.NodeID, ppv sparse.Vector) []byte {
 	nodes := make([]graph.NodeID, 0, len(ppv))
 	for n := range ppv {
 		nodes = append(nodes, n)
@@ -89,6 +110,44 @@ func (d *DiskWriter) Put(h graph.NodeID, ppv sparse.Vector) error {
 		binary.LittleEndian.PutUint64(buf[at+4:], math.Float64bits(ppv[n]))
 		at += entryBytes
 	}
+	return buf
+}
+
+// decodeRecordPayload parses a buffer produced by encodeRecord. The declared
+// entry count must exactly cover the buffer, otherwise the payload is corrupt.
+func decodeRecordPayload(buf []byte) (graph.NodeID, sparse.Vector, error) {
+	if len(buf) < 8 {
+		return 0, nil, fmt.Errorf("%w: record payload of %d bytes is shorter than its header", ErrBadIndexFormat, len(buf))
+	}
+	h := graph.NodeID(binary.LittleEndian.Uint32(buf[0:]))
+	count := int(binary.LittleEndian.Uint32(buf[4:]))
+	if count < 0 || 8+count*entryBytes != len(buf) {
+		return 0, nil, fmt.Errorf("%w: record of hub %d claims %d entries in a %d-byte payload", ErrBadIndexFormat, h, count, len(buf))
+	}
+	v := sparse.New(count)
+	for i := 0; i < count; i++ {
+		node := graph.NodeID(binary.LittleEndian.Uint32(buf[8+i*entryBytes:]))
+		score := math.Float64frombits(binary.LittleEndian.Uint64(buf[8+i*entryBytes+4:]))
+		v[node] = score
+	}
+	return h, v, nil
+}
+
+// Put appends the prime PPV of hub h to the index file. Entries are written
+// in node order for determinism. A hub may be written only once: a duplicate
+// would produce a file whose directory OpenDisk rejects as corrupt, so the
+// mistake is reported here, at write time, instead.
+func (d *DiskWriter) Put(h graph.NodeID, ppv sparse.Vector) error {
+	if d.closed {
+		return errors.New("ppvindex: Put on closed DiskWriter")
+	}
+	if _, dup := d.seen[h]; dup {
+		return fmt.Errorf("ppvindex: duplicate Put of hub %d (each hub may be written once)", h)
+	}
+	d.seen[h] = struct{}{}
+	d.entries = append(d.entries, dirEntry{hub: h, offset: d.offset})
+
+	buf := encodeRecord(h, ppv)
 	if _, err := d.w.Write(buf); err != nil {
 		return err
 	}
@@ -96,16 +155,22 @@ func (d *DiskWriter) Put(h graph.NodeID, ppv sparse.Vector) error {
 	return nil
 }
 
-// Close finalizes the index: it flushes the records, appends the directory and
-// rewrites the header. The writer cannot be used afterwards.
+// Close finalizes the index: it flushes the records, appends the directory
+// and the footer, fsyncs, and atomically renames <path>.tmp into place. On
+// error the temporary file is removed, so no partial index is ever published.
+// The writer cannot be used afterwards.
 func (d *DiskWriter) Close() error {
 	if d.closed {
 		return nil
 	}
 	d.closed = true
-	if err := d.w.Flush(); err != nil {
+	fail := func(err error) error {
 		d.f.Close()
+		os.Remove(d.tmpPath)
 		return err
+	}
+	if err := d.w.Flush(); err != nil {
+		return fail(err)
 	}
 	// Records were written from the start of the file; now append the
 	// directory and finish with a footer pointing at it.
@@ -116,18 +181,60 @@ func (d *DiskWriter) Close() error {
 		binary.LittleEndian.PutUint64(dirBuf[i*12+4:], e.offset)
 	}
 	if _, err := d.f.Write(dirBuf); err != nil {
-		d.f.Close()
-		return err
+		return fail(err)
 	}
 	footer := make([]byte, 16)
 	binary.LittleEndian.PutUint32(footer[0:], diskMagic)
 	binary.LittleEndian.PutUint32(footer[4:], uint32(len(d.entries)))
 	binary.LittleEndian.PutUint64(footer[8:], dirStart)
 	if _, err := d.f.Write(footer); err != nil {
-		d.f.Close()
+		return fail(err)
+	}
+	if err := d.f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := d.f.Close(); err != nil {
+		os.Remove(d.tmpPath)
 		return err
 	}
-	return d.f.Close()
+	if err := os.Rename(d.tmpPath, d.path); err != nil {
+		os.Remove(d.tmpPath)
+		return err
+	}
+	// Fsync the parent directory so the rename itself is durable before the
+	// caller takes any dependent step (compaction resets the update log right
+	// after this; a power loss must not surface the log reset without the
+	// rename, or the folded updates would be lost with the old base).
+	return syncDir(filepath.Dir(d.path))
+}
+
+// syncDir fsyncs a directory, making previously performed renames in it
+// durable. Filesystems that cannot sync a directory handle are ignored.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := df.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}
+
+// Abort discards the writer without publishing anything: the temporary file
+// is removed and the final path is left untouched. Calling Abort after a
+// successful Close is a no-op.
+func (d *DiskWriter) Abort() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	err := d.f.Close()
+	if rmErr := os.Remove(d.tmpPath); err == nil {
+		err = rmErr
+	}
+	return err
 }
 
 // DiskIndex is a read-only disk-backed PPV index. It is safe for concurrent
@@ -145,6 +252,12 @@ type DiskIndex struct {
 	// accesses during online query processing. Atomic: Get is the hot path
 	// of every cache-missing hub expansion and must not serialize on a lock.
 	reads atomic.Int64
+	// closed flips when Close runs; inflight counts record reads in
+	// progress, which Close drains before releasing the descriptor so no
+	// positioned read ever races the close. Both are only touched on the
+	// disk-read path, never on directory-only lookups.
+	closed   atomic.Bool
+	inflight atomic.Int64
 }
 
 // OpenDisk opens an index file written by DiskWriter.
@@ -214,8 +327,19 @@ func OpenDisk(path string) (*DiskIndex, error) {
 	return idx, nil
 }
 
-// Close releases the underlying file.
-func (d *DiskIndex) Close() error { return d.f.Close() }
+// Close releases the underlying file after draining in-flight record reads:
+// a Get that raised inflight before closed flipped completes against the
+// still-open descriptor; one that observes closed afterwards backs off with
+// ErrIndexClosed. Closing twice is a no-op.
+func (d *DiskIndex) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	for d.inflight.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	return d.f.Close()
+}
 
 // Get reads the prime PPV of h from disk. A record that does not fit inside
 // the file's record region — a truncated file, or a corrupt count that would
@@ -225,6 +349,11 @@ func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	off, ok := d.directory[h]
 	if !ok {
 		return nil, false, nil
+	}
+	d.inflight.Add(1)
+	defer d.inflight.Add(-1)
+	if d.closed.Load() {
+		return nil, false, ErrIndexClosed
 	}
 	header := make([]byte, 8)
 	if _, err := d.f.ReadAt(header, int64(off)); err != nil {

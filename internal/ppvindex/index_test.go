@@ -353,3 +353,90 @@ func TestDiskIndexEmpty(t *testing.T) {
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
 }
+
+// TestDiskWriterRejectsDuplicateHub: a duplicate Put would produce a file
+// whose directory OpenDisk rejects as corrupt; the writer must catch it at
+// write time instead.
+func TestDiskWriterRejectsDuplicateHub(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(4, sparse.Vector{1: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(4, sparse.Vector{2: 0.25}); err == nil {
+		t.Fatal("duplicate Put of hub 4 should fail")
+	}
+	if err := w.Put(5, sparse.Vector{3: 0.125}); err != nil {
+		t.Fatalf("Put of a fresh hub after a rejected duplicate: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk after a rejected duplicate: %v", err)
+	}
+	defer idx.Close()
+	if idx.Len() != 2 {
+		t.Errorf("Len = %d, want 2", idx.Len())
+	}
+}
+
+// TestDiskWriterAtomicPublish: the index file must not exist at the final
+// path until Close succeeds (records stream into <path>.tmp), so a crash
+// mid-precompute can never leave a partial file that OpenDisk rejects.
+func TestDiskWriterAtomicPublish(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(1, sparse.Vector{2: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists before Close (err=%v); records must stream to .tmp", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("temporary file missing during write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("final path missing after Close: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary file still present after Close (err=%v)", err)
+	}
+	if _, err := OpenDisk(path); err != nil {
+		t.Fatalf("OpenDisk after atomic publish: %v", err)
+	}
+}
+
+// TestDiskWriterAbort discards the temporary file and never publishes.
+func TestDiskWriterAbort(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	w, err := CreateDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put(1, sparse.Vector{2: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("final path exists after Abort (err=%v)", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temporary file survives Abort (err=%v)", err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Errorf("second Abort should be a no-op, got %v", err)
+	}
+}

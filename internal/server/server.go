@@ -148,10 +148,11 @@ func New(engine *core.Engine, cfg Config) (*Server, error) {
 		flights: newFlightGroup(),
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueWait),
 		hists: map[string]*Histogram{
-			"ppv":    {},
-			"batch":  {},
-			"update": {},
-			"stats":  {},
+			"ppv":     {},
+			"batch":   {},
+			"update":  {},
+			"stats":   {},
+			"compact": {},
 		},
 		started: time.Now(),
 	}
@@ -167,6 +168,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/ppv", s.instrument("ppv", s.handlePPV))
 	mux.HandleFunc("POST /v1/ppv/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("POST /v1/compact", s.instrument("compact", s.handleCompact))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -593,6 +595,37 @@ func (s *Server) invalidateLocked(stats core.UpdateStats) int {
 	})
 }
 
+// compactor is implemented by disk-backed index stores that can fold their
+// update log and overlay back into the base file (fastppv's disk store); the
+// /v1/compact admin endpoint drives it.
+type compactor interface {
+	Compact() (ppvindex.CompactionResult, error)
+}
+
+// handleCompact triggers a synchronous compaction of the disk-served index.
+// It does not take the engine lock: compaction serves reads throughout and
+// only incremental updates wait (on the store's own mutex).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.engine.Index().(compactor)
+	if !ok {
+		writeError(w, &httpError{
+			status: http.StatusPreconditionFailed,
+			msg:    "index is not disk-backed; nothing to compact",
+		})
+		return
+	}
+	res, err := c.Compact()
+	if err != nil {
+		if errors.Is(err, ppvindex.ErrCompactionInProgress) || errors.Is(err, ppvindex.ErrUpdateInFlight) {
+			writeError(w, &httpError{status: http.StatusConflict, msg: err.Error()})
+			return
+		}
+		writeError(w, fmt.Errorf("compaction failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 // GraphInfo summarizes the served graph.
 type GraphInfo struct {
 	Nodes    int  `json:"nodes"`
@@ -617,6 +650,7 @@ type StatsResponse struct {
 	Offline        OfflineInfo                  `json:"offline"`
 	Cache          *CacheStats                  `json:"cache,omitempty"`
 	BlockCache     *ppvindex.BlockCacheStats    `json:"block_cache,omitempty"`
+	Durability     *ppvindex.DurabilityStats    `json:"durability,omitempty"`
 	Admission      AdmissionStats               `json:"admission"`
 	Coalesced      int64                        `json:"coalesced"`
 	UpdatesApplied int64                        `json:"updates_applied"`
@@ -628,6 +662,13 @@ type StatsResponse struct {
 // reports their counters when present.
 type blockCacheStatser interface {
 	BlockCacheStats() (ppvindex.BlockCacheStats, bool)
+}
+
+// durabilityStatser is implemented by index stores that persist incremental
+// updates behind an update log; the stats endpoint reports overlay and log
+// counters when present.
+type durabilityStatser interface {
+	DurabilityStats() (ppvindex.DurabilityStats, bool)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -660,6 +701,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if bcs, ok := s.engine.Index().(blockCacheStatser); ok {
 		if st, enabled := bcs.BlockCacheStats(); enabled {
 			resp.BlockCache = &st
+		}
+	}
+	if dss, ok := s.engine.Index().(durabilityStatser); ok {
+		if st, enabled := dss.DurabilityStats(); enabled {
+			resp.Durability = &st
 		}
 	}
 	for name, h := range s.hists {

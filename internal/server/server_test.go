@@ -505,3 +505,134 @@ func TestServerBadRequests(t *testing.T) {
 		t.Errorf("empty batch: status %d (%s), want 400", status, out)
 	}
 }
+
+// durableIndex is an IndexStore that pretends to persist updates behind an
+// update log, standing in for fastppv's disk-backed store: Compact empties
+// the pretend log and reports what it folded.
+type durableIndex struct {
+	*ppvindex.MemIndex
+	mu          sync.Mutex
+	logRecords  int64
+	logBytes    int64
+	compactions int64
+	compactBusy bool
+	failCompact bool
+}
+
+func (d *durableIndex) DurabilityStats() (ppvindex.DurabilityStats, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ppvindex.DurabilityStats{
+		LogEnabled:  true,
+		LogRecords:  d.logRecords,
+		LogBytes:    d.logBytes,
+		Compactions: d.compactions,
+	}, true
+}
+
+func (d *durableIndex) Compact() (ppvindex.CompactionResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.compactBusy {
+		return ppvindex.CompactionResult{}, ppvindex.ErrCompactionInProgress
+	}
+	if d.failCompact {
+		return ppvindex.CompactionResult{}, fmt.Errorf("disk on fire")
+	}
+	res := ppvindex.CompactionResult{
+		TotalHubs:        d.Len(),
+		LogRecordsFolded: d.logRecords,
+		LogBytesFreed:    d.logBytes,
+	}
+	d.logRecords, d.logBytes = 0, 8
+	d.compactions++
+	return res, nil
+}
+
+// TestServerCompactEndpoint drives POST /v1/compact against a durable store:
+// the response reports what was folded and /v1/stats reflects the emptied log.
+func TestServerCompactEndpoint(t *testing.T) {
+	g := socialGraph(t, 200)
+	store := &durableIndex{MemIndex: ppvindex.NewMemIndex(), logRecords: 5, logBytes: 4096}
+	engine, err := core.NewEngine(g, store, core.Options{NumHubs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(engine, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var st StatsResponse
+	_, _, body := get(t, ts, "/v1/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability == nil || st.Durability.LogRecords != 5 {
+		t.Fatalf("stats durability = %+v, want 5 log records", st.Durability)
+	}
+
+	status, cbody := post(t, ts, "/v1/compact", "")
+	if status != http.StatusOK {
+		t.Fatalf("compact: %d %s", status, cbody)
+	}
+	var res ppvindex.CompactionResult
+	if err := json.Unmarshal(cbody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.LogRecordsFolded != 5 || res.LogBytesFreed != 4096 {
+		t.Fatalf("compact response = %+v, want 5 records / 4096 bytes folded", res)
+	}
+
+	_, _, body = get(t, ts, "/v1/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability == nil || st.Durability.LogRecords != 0 || st.Durability.Compactions != 1 {
+		t.Fatalf("stats after compact = %+v, want empty log and 1 compaction", st.Durability)
+	}
+
+	// A concurrent compaction maps to 409, a failed one to 500.
+	store.mu.Lock()
+	store.compactBusy = true
+	store.mu.Unlock()
+	if status, body := post(t, ts, "/v1/compact", ""); status != http.StatusConflict {
+		t.Fatalf("busy compact = %d %s, want 409", status, body)
+	}
+	store.mu.Lock()
+	store.compactBusy, store.failCompact = false, true
+	store.mu.Unlock()
+	if status, body := post(t, ts, "/v1/compact", ""); status != http.StatusInternalServerError {
+		t.Fatalf("failing compact = %d %s, want 500", status, body)
+	}
+}
+
+// TestServerCompactRequiresDiskIndex: an in-memory engine has nothing to
+// compact and must answer 412, and its stats carry no durability section.
+func TestServerCompactRequiresDiskIndex(t *testing.T) {
+	g := socialGraph(t, 100)
+	engine := testEngine(t, g, 10)
+	srv, err := New(engine, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := post(t, ts, "/v1/compact", ""); status != http.StatusPreconditionFailed {
+		t.Fatalf("compact on an in-memory index = %d %s, want 412", status, body)
+	}
+	var st StatsResponse
+	_, _, body := get(t, ts, "/v1/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability != nil {
+		t.Fatalf("in-memory engine reported durability = %+v", st.Durability)
+	}
+}
