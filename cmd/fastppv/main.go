@@ -54,7 +54,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  fastppv precompute -graph <file> [-hubs N] [-alpha 0.15] -index <file>
+  fastppv precompute -graph <file> [-hubs N] [-alpha 0.15] [-shard i/n] -index <file>
   fastppv query      -graph <file> [-index <file>] [-hubs N] -node <id> [-eta 2] [-top 10]
   fastppv evaluate   -graph <file> [-hubs N] [-queries 50] [-eta 2] [-seed 1]`)
 }
@@ -74,6 +74,7 @@ func runPrecompute(args []string) error {
 	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
 	alpha := fs.Float64("alpha", fastppv.DefaultAlpha, "teleporting probability")
 	indexPath := fs.String("index", "", "output index file")
+	shardSpec := fs.String("shard", "", "build one hub partition only, as \"i/n\" (for fastppvd -shard i/n)")
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
 		return fmt.Errorf("precompute requires -graph and -index")
@@ -83,7 +84,14 @@ func runPrecompute(args []string) error {
 		return err
 	}
 	fmt.Println(g.Stats())
-	engine, closeIndex, err := fastppv.NewWithDiskIndex(g, fastppv.Options{NumHubs: *hubs, Alpha: *alpha}, *indexPath)
+	opts := fastppv.Options{NumHubs: *hubs, Alpha: *alpha}
+	if *shardSpec != "" {
+		if opts.Partition, err = fastppv.ParsePartition(*shardSpec); err != nil {
+			return err
+		}
+		fmt.Printf("building hub partition %s\n", opts.Partition)
+	}
+	engine, closeIndex, err := fastppv.NewWithDiskIndex(g, opts, *indexPath)
 	if err != nil {
 		return err
 	}

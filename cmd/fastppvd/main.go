@@ -22,13 +22,30 @@
 // log. The log is folded back into the index by compaction — automatic past
 // -compact-threshold-bytes, or on demand via POST /v1/compact.
 //
+// Cluster mode splits the hub index horizontally across processes. A shard
+// serves one hash partition of the hub set (-shard i/n) and exposes the
+// partial-query endpoint the cluster protocol needs; a router fronts the
+// shards (-router url1,url2,...) and scatter-gathers every query across them,
+// composing the exact error bound from the partial answers — with a down
+// shard, answers degrade to a wider reported bound instead of failing:
+//
+//	fastppvd -graph g.txt -shard 0/2 -addr :8081
+//	fastppvd -graph g.txt -shard 1/2 -addr :8082
+//	fastppvd -router localhost:8081,localhost:8082 -addr :8080
+//
+// On a disk-serving shard, -warm-hubs K preloads the K hottest hub blocks
+// (by out-degree) into the block cache at startup, so a cold shard does not
+// serve its first requests at cold-read latency; the result appears under
+// "warming" in /v1/stats.
+//
 // Endpoints:
 //
 //	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
 //	POST /v1/ppv/batch                           answer a batch of queries
+//	POST /v1/partial                             cluster sub-query (shards only)
 //	POST /v1/update                              apply a graph update
 //	POST /v1/compact                             fold the update log into the index
-//	GET  /v1/stats                               serving + offline statistics
+//	GET  /v1/stats                               serving + offline + cluster statistics
 //	GET  /healthz                                readiness
 package main
 
@@ -40,10 +57,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"fastppv"
+	"fastppv/internal/cluster"
 	"fastppv/internal/gen"
 	"fastppv/internal/server"
 )
@@ -63,6 +82,9 @@ func run(args []string) error {
 	social := fs.Int("social", 60000, "synthetic social graph size when -graph is empty")
 	seed := fs.Int64("seed", 7, "synthetic graph seed")
 	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
+	shardSpec := fs.String("shard", "", "serve one hub partition, as \"i/n\" (shard i of n)")
+	routerTargets := fs.String("router", "", "run as a cluster router over these comma-separated shard URLs (no local engine)")
+	warmHubs := fs.Int("warm-hubs", 0, "preload this many of the hottest hub blocks into the block cache at startup")
 	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
 	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
 	updateLog := fs.String("update-log", "", "update log for -index mode (empty = <index>.log, \"none\" disables durable updates)")
@@ -76,6 +98,40 @@ func run(args []string) error {
 	queueWait := fs.Duration("queue-wait", 25*time.Millisecond, "max wait for a computation slot before degrading")
 	fs.Parse(args)
 
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	srvCfg := server.Config{
+		DefaultEta:    *eta,
+		MaxEta:        *maxEta,
+		DegradedEta:   *degradedEta,
+		CacheBytes:    cacheBytes,
+		MaxConcurrent: *maxConcurrent,
+		QueueWait:     *queueWait,
+		WarmHubs:      *warmHubs,
+	}
+
+	if *routerTargets != "" {
+		if *shardSpec != "" {
+			return fmt.Errorf("-router and -shard are mutually exclusive")
+		}
+		targets := strings.Split(*routerTargets, ",")
+		rt, err := cluster.NewRouter(cluster.RouterConfig{Targets: targets})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		st := rt.Stats()
+		log.Printf("routing across %d shards (%d healthy, %d nodes discovered)",
+			len(st.Shards), st.ShardsHealthy, st.Nodes)
+		srv, err := server.NewRouter(rt, srvCfg)
+		if err != nil {
+			return err
+		}
+		return serve(*addr, srv)
+	}
+
 	g, err := loadOrGenerate(*graphPath, *social, *seed)
 	if err != nil {
 		return err
@@ -83,6 +139,12 @@ func run(args []string) error {
 	log.Printf("graph: %v", g.Stats())
 
 	opts := fastppv.Options{NumHubs: *hubs, Alpha: *alpha}
+	if *shardSpec != "" {
+		if opts.Partition, err = fastppv.ParsePartition(*shardSpec); err != nil {
+			return err
+		}
+		log.Printf("serving hub partition %s", opts.Partition)
+	}
 	dio := fastppv.DiskIndexOptions{
 		BlockCacheBytes:       *blockCacheBytes,
 		CompactThresholdBytes: *compactThreshold,
@@ -118,26 +180,19 @@ func run(args []string) error {
 			off.Hubs, off.Total.Round(time.Millisecond), float64(off.IndexBytes)/(1<<20), off.IndexEntries)
 	}
 
-	cacheBytes := *cacheMB << 20
-	if *cacheMB <= 0 {
-		cacheBytes = -1
-	}
-	srv, err := server.New(engine, server.Config{
-		DefaultEta:    *eta,
-		MaxEta:        *maxEta,
-		DegradedEta:   *degradedEta,
-		CacheBytes:    cacheBytes,
-		MaxConcurrent: *maxConcurrent,
-		QueueWait:     *queueWait,
-	})
+	srv, err := server.New(engine, srvCfg)
 	if err != nil {
 		return err
 	}
+	return serve(*addr, srv)
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+// serve runs the HTTP server until an error or a termination signal.
+func serve(addr string, srv *server.Server) error {
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s", addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -4,6 +4,16 @@
 // together with the server's own cache and admission statistics.
 //
 //	ppvload -addr http://localhost:8080 -requests 5000 -concurrency 16 -zipf 1.2
+//
+// -addr accepts a comma-separated target list, which load-tests a cluster end
+// to end: point it at the router for the full scatter-gather path, or at the
+// shard daemons directly to compare per-shard latency. With multiple targets
+// requests round-robin across them and latency percentiles are reported per
+// target as well as overall. Every response's reported L1 error bound is
+// collected, so the output also shows error-bound percentiles — with a
+// degraded cluster (a shard down) the widened bounds are visible immediately.
+// Failures are counted per structured error code (internal/api), separating
+// admission rejection from shard-down degradation and client mistakes.
 package main
 
 import (
@@ -15,9 +25,11 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"fastppv/internal/api"
 	"fastppv/internal/workload"
 )
 
@@ -34,6 +46,7 @@ type serverStats struct {
 	Graph struct {
 		Nodes int `json:"nodes"`
 	} `json:"graph"`
+	Shard string `json:"shard"`
 	Cache *struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
@@ -47,6 +60,17 @@ type serverStats struct {
 		Entries int   `json:"entries"`
 		Bytes   int64 `json:"bytes"`
 	} `json:"block_cache"`
+	Cluster *struct {
+		ShardsHealthy int `json:"shards_healthy"`
+		Shards        []struct {
+			Shard         int     `json:"shard"`
+			Target        string  `json:"target"`
+			Healthy       bool    `json:"healthy"`
+			Requests      int64   `json:"requests"`
+			Failures      int64   `json:"failures"`
+			MeanLatencyMS float64 `json:"mean_latency_ms"`
+		} `json:"shards"`
+	} `json:"cluster"`
 	Admission struct {
 		Admitted int64 `json:"admitted"`
 		Degraded int64 `json:"degraded"`
@@ -54,9 +78,20 @@ type serverStats struct {
 	Coalesced int64 `json:"coalesced"`
 }
 
+type outcome struct {
+	target    int
+	latency   time.Duration
+	state     string // X-Fastppv-Cache
+	degraded  bool
+	bound     float64
+	errCode   string
+	err       error
+	shardsOff int
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppvload", flag.ExitOnError)
-	addr := fs.String("addr", "http://localhost:8080", "base URL of the fastppvd daemon")
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the fastppvd daemon, or a comma-separated list of targets (router and/or shards)")
 	requests := fs.Int("requests", 2000, "total number of queries to send")
 	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
 	zipfS := fs.Float64("zipf", workload.DefaultZipfS, "Zipf exponent of the query skew (>1)")
@@ -67,24 +102,32 @@ func run(args []string) error {
 	if *requests < 1 || *concurrency < 1 {
 		return fmt.Errorf("requests and concurrency must be positive")
 	}
-
-	before, err := fetchStats(*addr)
-	if err != nil {
-		return fmt.Errorf("fetching /v1/stats (is fastppvd running?): %w", err)
+	targets := strings.Split(*addr, ",")
+	for i := range targets {
+		var err error
+		if targets[i], err = api.NormalizeTarget(targets[i]); err != nil {
+			return fmt.Errorf("-addr: %w", err)
+		}
 	}
-	numNodes := before.Graph.Nodes
+
+	before := make([]*serverStats, len(targets))
+	numNodes := 0
+	for i, tgt := range targets {
+		st, err := fetchStats(tgt)
+		if err != nil {
+			return fmt.Errorf("fetching %s/v1/stats (is fastppvd running?): %w", tgt, err)
+		}
+		before[i] = st
+		if st.Graph.Nodes > numNodes {
+			numNodes = st.Graph.Nodes
+		}
+	}
 	if numNodes < 1 {
-		return fmt.Errorf("server reports empty graph")
+		return fmt.Errorf("no target reports a non-empty graph")
 	}
-	log.Printf("target %s: %d nodes; sending %d requests, concurrency %d, zipf %.2f",
-		*addr, numNodes, *requests, *concurrency, *zipfS)
+	log.Printf("targets %s: %d nodes; sending %d requests, concurrency %d, zipf %.2f",
+		strings.Join(targets, ", "), numNodes, *requests, *concurrency, *zipfS)
 
-	type outcome struct {
-		latency  time.Duration
-		state    string // X-Fastppv-Cache
-		degraded bool
-		err      error
-	}
 	outcomes := make([]outcome, *requests)
 	var next int
 	var mu sync.Mutex
@@ -117,28 +160,47 @@ func run(args []string) error {
 				if i < 0 {
 					return
 				}
+				tgt := i % len(targets)
 				node := sampler.Next()
-				url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=%d&top=%d", *addr, node, *eta, *top)
+				url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=%d&top=%d", targets[tgt], node, *eta, *top)
 				t0 := time.Now()
 				resp, err := client.Get(url)
 				if err != nil {
-					outcomes[i] = outcome{err: err}
+					// A connect/timeout failure has no server error code;
+					// bucket it so the per-code breakdown stays complete
+					// during shard-kill drills.
+					outcomes[i] = outcome{target: tgt, err: err, errCode: "transport"}
+					continue
+				}
+				o := outcome{target: tgt}
+				if resp.StatusCode != http.StatusOK {
+					var eresp api.ErrorResponse
+					decErr := json.NewDecoder(resp.Body).Decode(&eresp)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					o.err = fmt.Errorf("status %d", resp.StatusCode)
+					if decErr == nil && eresp.Error.Code != "" {
+						o.errCode = eresp.Error.Code
+					} else {
+						o.errCode = fmt.Sprintf("http_%d", resp.StatusCode)
+					}
+					outcomes[i] = o
 					continue
 				}
 				var body struct {
-					Degraded bool `json:"degraded"`
+					Degraded     bool    `json:"degraded"`
+					ShardsDown   int     `json:"shards_down"`
+					L1ErrorBound float64 `json:"l1_error_bound"`
 				}
 				decErr := json.NewDecoder(resp.Body).Decode(&body)
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				o := outcome{
-					latency:  time.Since(t0),
-					state:    resp.Header.Get("X-Fastppv-Cache"),
-					degraded: body.Degraded,
-				}
-				if resp.StatusCode != http.StatusOK {
-					o.err = fmt.Errorf("status %d", resp.StatusCode)
-				} else if decErr != nil {
+				o.latency = time.Since(t0)
+				o.state = resp.Header.Get("X-Fastppv-Cache")
+				o.degraded = body.Degraded
+				o.shardsOff = body.ShardsDown
+				o.bound = body.L1ErrorBound
+				if decErr != nil {
 					o.err = decErr
 				}
 				outcomes[i] = o
@@ -149,40 +211,96 @@ func run(args []string) error {
 	elapsed := time.Since(start)
 
 	var latencies []time.Duration
+	var bounds []float64
+	perTarget := make([][]time.Duration, len(targets))
 	states := map[string]int{}
-	failures, degraded := 0, 0
+	errCodes := map[string]int{}
+	failures, degraded, shardsDownMax := 0, 0, 0
 	for _, o := range outcomes {
 		if o.err != nil {
 			failures++
+			if o.errCode != "" {
+				errCodes[o.errCode]++
+			}
 			continue
 		}
 		latencies = append(latencies, o.latency)
+		perTarget[o.target] = append(perTarget[o.target], o.latency)
+		bounds = append(bounds, o.bound)
 		states[o.state]++
 		if o.degraded {
 			degraded++
 		}
+		if o.shardsOff > shardsDownMax {
+			shardsDownMax = o.shardsOff
+		}
 	}
 	if len(latencies) == 0 {
-		return fmt.Errorf("all %d requests failed", *requests)
-	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(q float64) time.Duration {
-		idx := int(q * float64(len(latencies)-1))
-		return latencies[idx]
+		return fmt.Errorf("all %d requests failed (%v)", *requests, errCodes)
 	}
 
 	fmt.Printf("sent %d requests in %v: %.1f req/s (%d failed)\n",
 		*requests, elapsed.Round(time.Millisecond),
 		float64(len(latencies))/elapsed.Seconds(), failures)
-	fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
-	fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d\n",
-		states["hit"], states["miss"], states["coalesced"], degraded)
+	if len(errCodes) > 0 {
+		codes := make([]string, 0, len(errCodes))
+		for c := range errCodes {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		parts := make([]string, 0, len(codes))
+		for _, c := range codes {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, errCodes[c]))
+		}
+		fmt.Printf("failures by code: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Printf("latency: %s\n", latencyLine(latencies))
+	if len(targets) > 1 {
+		for i, tgt := range targets {
+			if len(perTarget[i]) == 0 {
+				fmt.Printf("  target %s: no successful requests\n", tgt)
+				continue
+			}
+			fmt.Printf("  target %s: %s (%d ok)\n", tgt, latencyLine(perTarget[i]), len(perTarget[i]))
+		}
+	}
+	sort.Float64s(bounds)
+	fpct := func(q float64) float64 { return bounds[int(q*float64(len(bounds)-1))] }
+	fmt.Printf("error bound: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+		fpct(0.50), fpct(0.90), fpct(0.99), bounds[len(bounds)-1])
+	fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
+		states["hit"], states["miss"], states["coalesced"], degraded, shardsDownMax)
 
-	after, err := fetchStats(*addr)
+	for i, tgt := range targets {
+		if err := reportTarget(tgt, before[i], len(targets) > 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func latencyLine(lat []time.Duration) string {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+}
+
+// reportTarget prints the server-side statistics delta for one target.
+func reportTarget(tgt string, before *serverStats, prefix bool) error {
+	after, err := fetchStats(tgt)
 	if err != nil {
-		return err
+		// A target may legitimately be down by the end of a failure drill.
+		fmt.Printf("%s unreachable for final stats: %v\n", tgt, err)
+		return nil
+	}
+	pfx := ""
+	if prefix {
+		pfx = tgt + " "
+	}
+	if after.Shard != "" {
+		fmt.Printf("%sserving hub partition %s\n", pfx, after.Shard)
 	}
 	if after.Cache != nil && before.Cache != nil {
 		hits := after.Cache.Hits - before.Cache.Hits
@@ -192,26 +310,33 @@ func run(args []string) error {
 		if total > 0 {
 			rate = float64(hits) / float64(total)
 		}
-		fmt.Printf("server cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
-			rate*100, after.Cache.Entries, float64(after.Cache.Bytes)/(1<<20))
+		fmt.Printf("%sserver cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
+			pfx, rate*100, after.Cache.Entries, float64(after.Cache.Bytes)/(1<<20))
 	}
 	if after.BlockCache != nil {
 		bc := after.BlockCache
-		var before_ struct{ hits, misses int64 }
+		var b struct{ hits, misses int64 }
 		if before.BlockCache != nil {
-			before_.hits, before_.misses = before.BlockCache.Hits, before.BlockCache.Misses
+			b.hits, b.misses = before.BlockCache.Hits, before.BlockCache.Misses
 		}
-		hits := bc.Hits - before_.hits
-		misses := bc.Misses - before_.misses
+		hits := bc.Hits - b.hits
+		misses := bc.Misses - b.misses
 		rate := 0.0
 		if hits+misses > 0 {
 			rate = float64(hits) / float64(hits+misses)
 		}
-		fmt.Printf("server block cache: %.1f%% hub-block hit rate this run (%d blocks, %.2f MB held, %d disk loads lifetime)\n",
-			rate*100, bc.Entries, float64(bc.Bytes)/(1<<20), bc.Loads)
+		fmt.Printf("%sserver block cache: %.1f%% hub-block hit rate this run (%d blocks, %.2f MB held, %d disk loads lifetime)\n",
+			pfx, rate*100, bc.Entries, float64(bc.Bytes)/(1<<20), bc.Loads)
 	}
-	fmt.Printf("server admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
-		after.Admission.Admitted, after.Admission.Degraded, after.Coalesced)
+	if after.Cluster != nil {
+		fmt.Printf("%scluster: %d/%d shards healthy\n", pfx, after.Cluster.ShardsHealthy, len(after.Cluster.Shards))
+		for _, sh := range after.Cluster.Shards {
+			fmt.Printf("%s  shard %d %s: healthy=%v requests=%d failures=%d mean=%.2fms\n",
+				pfx, sh.Shard, sh.Target, sh.Healthy, sh.Requests, sh.Failures, sh.MeanLatencyMS)
+		}
+	}
+	fmt.Printf("%sserver admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
+		pfx, after.Admission.Admitted, after.Admission.Degraded, after.Coalesced)
 	return nil
 }
 

@@ -84,7 +84,18 @@ type (
 	GraphUpdate = core.GraphUpdate
 	// UpdateStats reports the cost of an incremental index update.
 	UpdateStats = core.UpdateStats
+	// Partition restricts an engine to one horizontal shard of the hub index
+	// (set Options.Partition); shard routing and ownership are a pure
+	// function of (hub id, shard count), see core.Partition.
+	Partition = core.Partition
+	// PartialIncrement is the outcome of one shard-local step of a
+	// distributed query (Engine.PartialRoot / Engine.PartialExpand).
+	PartialIncrement = core.PartialIncrement
 )
+
+// ParsePartition parses an "i/n" shard spec (shard i of n), as accepted by
+// the fastppvd -shard flag.
+func ParsePartition(s string) (Partition, error) { return core.ParsePartition(s) }
 
 // Vector types.
 type (
@@ -513,6 +524,25 @@ func (s *diskStore) SizeBytes() int64 {
 		return 0
 	}
 	return st.src.SizeBytes()
+}
+
+// WarmHubs preloads the given hubs' records through the block cache and
+// returns how many of them are now cached, so a freshly started shard can
+// front-load its hottest blocks instead of paying a cold random read per
+// first request. Without a block cache (or on a closed store) it is a no-op
+// reporting zero. The serving layer drives it via server.Config.WarmHubs.
+func (s *diskStore) WarmHubs(hubs []NodeID) int {
+	st, err := s.reading()
+	if err != nil || st.cache == nil {
+		return 0
+	}
+	warmed := 0
+	for _, h := range hubs {
+		if _, ok, err := st.src.Get(h); err == nil && ok {
+			warmed++
+		}
+	}
+	return warmed
 }
 
 // BlockCacheStats reports the hub-block cache counters; ok is false when the

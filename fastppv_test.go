@@ -872,3 +872,89 @@ func TestPublicAPIRebuildPreservesOrDiscardsLog(t *testing.T) {
 		t.Errorf("completed rebuild should discard the old log, got %+v", ds3)
 	}
 }
+
+// TestPublicAPIShardedDiskIndex builds per-shard disk indexes, reopens each
+// as a sharded serving engine, and checks that the partition covers the
+// single-node hub set exactly once and warming loads blocks into the cache.
+func TestPublicAPIShardedDiskIndex(t *testing.T) {
+	g := buildTestGraph(t, 900, 5, 31)
+	dir := t.TempDir()
+
+	full, err := New(g, Options{NumHubs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 2
+	totalOwned := 0
+	for s := 0; s < shards; s++ {
+		opts := Options{NumHubs: 80, Partition: Partition{Shard: s, Shards: shards}}
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.ppv", s))
+		build, closeBuild, err := NewWithDiskIndex(g, opts, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := build.Precompute(); err != nil {
+			t.Fatal(err)
+		}
+		if err := closeBuild(); err != nil {
+			t.Fatal(err)
+		}
+
+		engine, closeIdx, err := OpenDiskIndex(g, opts, path, 1<<20)
+		if err != nil {
+			t.Fatalf("opening shard %d: %v", s, err)
+		}
+		if got, want := engine.Hubs().Size(), full.Hubs().Size(); got != want {
+			t.Errorf("shard %d recovered %d hubs, want the full set of %d", s, got, want)
+		}
+		owned := engine.Index().Len()
+		totalOwned += owned
+
+		// Warming through the block cache: every owned hub should land.
+		type warmer interface{ WarmHubs(hubs []NodeID) int }
+		w, ok := engine.Index().(warmer)
+		if !ok {
+			t.Fatalf("disk store does not support warming")
+		}
+		if warmed := w.WarmHubs(engine.Index().Hubs()); warmed != owned {
+			t.Errorf("shard %d warmed %d of %d owned hubs", s, warmed, owned)
+		}
+
+		// A partial expansion over a foreign hub is refused.
+		var foreign NodeID = -1
+		for _, h := range full.Hubs().Hubs() {
+			if !opts.Partition.Owns(h) {
+				foreign = h
+				break
+			}
+		}
+		if foreign >= 0 {
+			part, err := engine.PartialExpand(map[NodeID]float64{foreign: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(part.Unowned) != 1 {
+				t.Errorf("shard %d expanded foreign hub %d", s, foreign)
+			}
+		}
+
+		// Opening as the wrong shard must fail.
+		wrong := opts
+		wrong.Partition.Shard = (s + 1) % shards
+		if e2, c2, err := OpenDiskIndex(g, wrong, path, -1); err == nil {
+			_ = e2
+			c2()
+			t.Errorf("opening shard %d index as shard %d should fail", s, wrong.Partition.Shard)
+		}
+		if err := closeIdx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if totalOwned != full.Index().Len() {
+		t.Errorf("shards own %d hubs in total, full index has %d", totalOwned, full.Index().Len())
+	}
+}

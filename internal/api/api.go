@@ -1,0 +1,174 @@
+// Package api defines the HTTP wire contract shared by the serving daemon,
+// the cluster router and the load-generation tooling: the partial-query
+// protocol that shards speak among themselves, the sparse-vector encoding it
+// uses, and the structured error envelope every endpoint returns on failure.
+//
+// It deliberately contains no behaviour beyond encoding: both internal/server
+// (the shard side of /v1/partial) and internal/cluster (the router side)
+// import it, so it must not depend on either.
+package api
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+// NormalizeTarget canonicalizes a shard/daemon address as accepted by the
+// CLIs and the router: surrounding space and trailing slashes are dropped and
+// a bare host:port gets the http scheme. It returns an error for a blank
+// entry (usually a stray comma in a target list).
+func NormalizeTarget(t string) (string, error) {
+	t = strings.TrimRight(strings.TrimSpace(t), "/")
+	if t == "" {
+		return "", fmt.Errorf("api: empty target address")
+	}
+	if !strings.Contains(t, "://") {
+		t = "http://" + t
+	}
+	return t, nil
+}
+
+// Error codes distinguish failure classes machine-readably, so a router or
+// load generator can react per class instead of pattern-matching messages:
+// retry transient conditions, widen the error bound on unavailable shards,
+// and surface client mistakes unchanged.
+const (
+	// CodeBadRequest is a malformed or out-of-range request; retrying is
+	// pointless.
+	CodeBadRequest = "bad_request"
+	// CodeOverloaded reports admission rejection: both the full-accuracy and
+	// the degraded pools were saturated. Back off before retrying.
+	CodeOverloaded = "overloaded"
+	// CodeRetry reports a transient server condition — typically an index
+	// descriptor closing mid-read while the shard restarts or compacts — that
+	// an immediate retry is expected to clear.
+	CodeRetry = "retry"
+	// CodeUnsupported reports an endpoint that exists but is not available in
+	// this server's mode (e.g. /v1/update on a router, /v1/compact on an
+	// in-memory index).
+	CodeUnsupported = "unsupported"
+	// CodeConflict reports an operation already in progress (e.g. concurrent
+	// compactions).
+	CodeConflict = "conflict"
+	// CodeUnavailable reports that the service cannot answer at all — a
+	// router with every shard down, or an engine flagged inconsistent.
+	CodeUnavailable = "unavailable"
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the structured error payload. It implements the error interface so
+// a decoded remote failure can travel through ordinary error returns without
+// losing its code.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// ErrorResponse is the body of every non-2xx answer: {"error": {code, message}}.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// Vector is the wire form of a sparse score vector: parallel node and score
+// slices sorted by ascending node id. The sort makes encoded bodies a
+// deterministic function of the vector, preserving the serving layer's
+// byte-reproducibility guarantee across the cluster hop, and float64 values
+// round-trip exactly through encoding/json's shortest-form rendering.
+type Vector struct {
+	Nodes  []graph.NodeID `json:"nodes"`
+	Scores []float64      `json:"scores"`
+}
+
+// EncodeVector converts a sparse vector to wire form.
+func EncodeVector(v sparse.Vector) Vector {
+	w := Vector{
+		Nodes:  make([]graph.NodeID, 0, len(v)),
+		Scores: make([]float64, 0, len(v)),
+	}
+	for id := range v {
+		w.Nodes = append(w.Nodes, id)
+	}
+	sort.Slice(w.Nodes, func(i, j int) bool { return w.Nodes[i] < w.Nodes[j] })
+	for _, id := range w.Nodes {
+		w.Scores = append(w.Scores, v[id])
+	}
+	return w
+}
+
+// EncodeMap converts a hub->weight map (a query frontier) to wire form.
+func EncodeMap(m map[graph.NodeID]float64) Vector {
+	v := make(sparse.Vector, len(m))
+	for id, s := range m {
+		v[id] = s
+	}
+	return EncodeVector(v)
+}
+
+// Decode converts the wire form back to a sparse vector.
+func (w Vector) Decode() (sparse.Vector, error) {
+	if len(w.Nodes) != len(w.Scores) {
+		return nil, fmt.Errorf("api: vector has %d nodes but %d scores", len(w.Nodes), len(w.Scores))
+	}
+	v := sparse.New(len(w.Nodes))
+	for i, id := range w.Nodes {
+		v[id] = w.Scores[i]
+	}
+	return v, nil
+}
+
+// DecodeMap converts the wire form back to a hub->weight map.
+func (w Vector) DecodeMap() (map[graph.NodeID]float64, error) {
+	v, err := w.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return map[graph.NodeID]float64(v), nil
+}
+
+// PartialRequest is the body of POST /v1/partial, the shard-side sub-query of
+// a distributed PPV evaluation. Exactly one of Query and Frontier is set:
+//
+//   - Query asks for iteration 0 — the prime PPV of the query node, served
+//     from the shard's index when it owns that hub and computed on the fly
+//     otherwise;
+//   - Frontier asks for one expansion iteration over the given hub->prefix
+//     weights, which must all be hubs this shard owns.
+type PartialRequest struct {
+	Query    *graph.NodeID `json:"query,omitempty"`
+	Frontier *Vector       `json:"frontier,omitempty"`
+	// Iteration is the router's iteration number for this expansion; it only
+	// feeds shard-side logging and stats.
+	Iteration int `json:"iteration,omitempty"`
+}
+
+// PartialResponse is the body answering a partial request.
+type PartialResponse struct {
+	// Shard and Shards echo the answering shard's partition, letting the
+	// router detect a misconfigured target list.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Increment is the partial PPV mass this sub-query contributed.
+	Increment Vector `json:"increment"`
+	// Frontier holds the hub entries of Increment: prefix weights for the
+	// next iteration, including hubs owned by other shards.
+	Frontier Vector `json:"frontier"`
+	// HubsExpanded and HubsSkipped count assembled and delta-pruned hubs.
+	HubsExpanded int `json:"hubs_expanded"`
+	HubsSkipped  int `json:"hubs_skipped"`
+	// Unowned lists requested hubs the shard refused because its partition
+	// does not own them; their mass was not expanded.
+	Unowned []graph.NodeID `json:"unowned,omitempty"`
+	// FromIndex reports, for a root request, whether the query node's prime
+	// PPV came from the stored index.
+	FromIndex bool `json:"from_index,omitempty"`
+	// ComputeMS is the shard-side evaluation time in milliseconds.
+	ComputeMS float64 `json:"compute_ms"`
+}

@@ -1,0 +1,83 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+func TestVectorRoundTripExact(t *testing.T) {
+	v := sparse.Vector{
+		3:   0.1 + 0.2, // a value with no short decimal form
+		0:   math.Nextafter(0.5, 1),
+		999: 1e-17,
+		42:  0.25,
+	}
+	w := EncodeVector(v)
+	for i := 1; i < len(w.Nodes); i++ {
+		if w.Nodes[i-1] >= w.Nodes[i] {
+			t.Fatalf("encoded nodes not strictly ascending: %v", w.Nodes)
+		}
+	}
+	body, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Vector
+	if err := json.Unmarshal(body, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("round trip has %d entries, want %d", len(got), len(v))
+	}
+	for id, s := range v {
+		if got[id] != s {
+			t.Errorf("entry %d = %v after round trip, want bit-identical %v", id, got[id], s)
+		}
+	}
+}
+
+func TestVectorEncodingDeterministic(t *testing.T) {
+	v := sparse.Vector{7: 0.5, 1: 0.25, 30: 0.125, 2: 0.0625}
+	a, _ := json.Marshal(EncodeVector(v))
+	b, _ := json.Marshal(EncodeVector(v.Clone()))
+	if !bytes.Equal(a, b) {
+		t.Errorf("encoding not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestVectorDecodeRejectsLengthMismatch(t *testing.T) {
+	w := Vector{Nodes: []graph.NodeID{1, 2}, Scores: []float64{0.5}}
+	if _, err := w.Decode(); err == nil {
+		t.Error("mismatched lengths should fail to decode")
+	}
+	if _, err := w.DecodeMap(); err == nil {
+		t.Error("mismatched lengths should fail to decode as map")
+	}
+}
+
+func TestEncodeMap(t *testing.T) {
+	m := map[graph.NodeID]float64{9: 0.75, 4: 0.5}
+	got, err := EncodeMap(m).DecodeMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[9] != 0.75 || got[4] != 0.5 {
+		t.Errorf("EncodeMap round trip = %v, want %v", got, m)
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	e := &Error{Code: CodeRetry, Message: "index closed"}
+	if e.Error() != "retry: index closed" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}

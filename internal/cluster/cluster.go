@@ -1,9 +1,16 @@
-// Package cluster segments a graph into node clusters for the disk-based
-// FastPPV configuration (Sect. 5.3 of the paper). Following the technique the
-// paper adopts from Sarkar & Moore, a number of anchor nodes are chosen at
-// random and every node is assigned to the anchor with the highest
-// personalized PageRank score with respect to that anchor; personalized
-// PageRank is known to produce tight clusters even with random anchors.
+// Package cluster holds the cluster-level machinery of the FastPPV
+// reproduction, in two halves:
+//
+//   - node clustering for the disk-based configuration (this file): following
+//     the technique the paper adopts from Sarkar & Moore (Sect. 5.3), anchor
+//     nodes are chosen at random and every node is assigned to the anchor with
+//     the highest personalized PageRank score, which produces tight clusters
+//     even with random anchors;
+//   - horizontal sharding of the hub index across processes (router.go): a
+//     scatter-gather Router fans PPV queries out to fastppvd shards that each
+//     own one hash partition of the hub set, merges their partial increments
+//     deterministically, and composes the exact accuracy-aware error bound —
+//     degrading to a wider bound, not an error, when shards are lost.
 package cluster
 
 import (

@@ -1,0 +1,602 @@
+// router.go implements the horizontal-sharding half of this package: a
+// scatter-gather router over fastppvd shards that each serve one hub
+// partition of the index (see internal/core.Partition).
+//
+// The scheduled approximation of the paper decomposes a PPV query into
+// per-hub sub-queries aggregated in decreasing order of importance; the
+// router distributes exactly that decomposition. Iteration 0 (the query
+// node's prime PPV) is answered by the node's owner shard; every further
+// iteration partitions the border-hub frontier by hub owner, scatters one
+// /v1/partial expansion per owning shard, and merges the returned increments
+// in ascending shard order so responses stay deterministic. The estimate only
+// accumulates non-negative tour mass, so the accuracy-aware bound
+// 1 - sum(estimate) remains exact under any failure: a down or slow shard
+// simply leaves its share of the mass unexpanded and the answer is returned
+// with a correctly widened error bound instead of an error.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastppv/internal/api"
+	"fastppv/internal/core"
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+// RouterConfig configures a shard router.
+type RouterConfig struct {
+	// Targets are the shard base URLs; Targets[i] must be the shard serving
+	// partition i/len(Targets). The order is part of the partition contract.
+	Targets []string
+	// Client optionally overrides the HTTP client used for shard calls.
+	Client *http.Client
+	// RequestTimeout bounds one partial sub-request; zero means 10s.
+	RequestTimeout time.Duration
+	// HealthInterval is the period of the background shard health probe; zero
+	// means 2s, negative disables the probe (health then only changes
+	// passively, on request outcomes).
+	HealthInterval time.Duration
+}
+
+// Router fans PPV queries out across hub-partitioned shards and aggregates
+// the partial results. It is safe for concurrent use.
+type Router struct {
+	part    core.Partition
+	shards  []*shardClient
+	client  *http.Client
+	timeout time.Duration
+	// passive is set when the background health probe is disabled: unhealthy
+	// shards are then still attempted by expand (a request outcome is the
+	// only thing that can restore them), trading bounded tail latency for
+	// liveness.
+	passive bool
+
+	numNodes atomic.Int64
+
+	stopHealth chan struct{}
+	healthWG   sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// shardClient is the router's view of one shard.
+type shardClient struct {
+	index   int
+	target  string
+	healthy atomic.Bool
+
+	requests  atomic.Int64
+	failures  atomic.Int64
+	retries   atomic.Int64
+	latencyUS atomic.Int64
+	maxUS     atomic.Int64
+}
+
+func (s *shardClient) observe(d time.Duration, failed bool) {
+	s.requests.Add(1)
+	if failed {
+		s.failures.Add(1)
+	}
+	us := d.Microseconds()
+	s.latencyUS.Add(us)
+	for {
+		old := s.maxUS.Load()
+		if us <= old || s.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// NewRouter creates a router over the given shard targets, probes each shard
+// once to seed its health state, and starts the background health loop. Call
+// Close when done. Shards that are still starting are fine: they are marked
+// unhealthy now and picked up by the next probe.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard target")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	r := &Router{
+		part:       core.Partition{Shards: len(cfg.Targets)},
+		client:     client,
+		timeout:    cfg.RequestTimeout,
+		passive:    cfg.HealthInterval < 0,
+		stopHealth: make(chan struct{}),
+	}
+	for i, t := range cfg.Targets {
+		target, err := api.NormalizeTarget(t)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard target at position %d: %w", i, err)
+		}
+		r.shards = append(r.shards, &shardClient{index: i, target: target})
+	}
+	r.probeAll()
+	if cfg.HealthInterval > 0 {
+		r.healthWG.Add(1)
+		go func() {
+			defer r.healthWG.Done()
+			tick := time.NewTicker(cfg.HealthInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-r.stopHealth:
+					return
+				case <-tick.C:
+					r.probeAll()
+				}
+			}
+		}()
+	}
+	return r, nil
+}
+
+// Close stops the background health loop.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.stopHealth) })
+	r.healthWG.Wait()
+}
+
+// Shards returns the number of shards the router fans out to.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// NumNodes returns the node count of the served graph, discovered from shard
+// stats; zero while no shard has been reachable yet.
+func (r *Router) NumNodes() int { return int(r.numNodes.Load()) }
+
+// probeAll health-checks every shard concurrently (a down shard costs one
+// probe timeout, not one per shard per round) and, while the graph size is
+// still unknown, discovers it from the first healthy shard's stats.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		wg.Add(1)
+		go func(s *shardClient) {
+			defer wg.Done()
+			s.healthy.Store(r.probe(s))
+		}(s)
+	}
+	wg.Wait()
+	if r.numNodes.Load() == 0 {
+		for _, s := range r.shards {
+			if !s.healthy.Load() {
+				continue
+			}
+			if n := r.discoverNodes(s); n > 0 {
+				r.numNodes.Store(int64(n))
+				break
+			}
+		}
+	}
+}
+
+// probe reports whether the shard answers its health endpoint.
+func (r *Router) probe(s *shardClient) bool {
+	timeout := r.timeout
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.target+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// discoverNodes reads the shard's /v1/stats for the graph size.
+func (r *Router) discoverNodes(s *shardClient) int {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.target+"/v1/stats", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0
+	}
+	var st struct {
+		Graph struct {
+			Nodes int `json:"nodes"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0
+	}
+	return st.Graph.Nodes
+}
+
+// shardFault reports whether a failed partial call indicates the shard
+// itself is unusable (transport failure, internal error, persistent retry
+// condition) rather than a property of this one request. Admission rejection
+// (overloaded) and client-class errors must not flip shard health: one shed
+// sub-request under a load spike would otherwise disable the shard for every
+// query until the next probe.
+func shardFault(err error) bool {
+	var aerr *api.Error
+	if errors.As(err, &aerr) {
+		switch aerr.Code {
+		case api.CodeBadRequest, api.CodeOverloaded, api.CodeConflict, api.CodeUnsupported:
+			return false
+		}
+	}
+	return true
+}
+
+// partial performs one /v1/partial call against shard s, retrying once when
+// the shard reports the transient CodeRetry condition (its index descriptor
+// was swapped mid-read, e.g. by a compaction or restart). A shard-fault
+// failure marks the shard unhealthy (the background probe restores it); a
+// success marks it healthy, which is what brings a shard back in passive
+// mode.
+func (r *Router) partial(s *shardClient, preq *api.PartialRequest) (*api.PartialResponse, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := r.partialOnce(s, body)
+	if aerr, ok := err.(*api.Error); ok && aerr.Code == api.CodeRetry {
+		s.retries.Add(1)
+		resp, err = r.partialOnce(s, body)
+	}
+	s.observe(time.Since(start), err != nil)
+	if err != nil {
+		if shardFault(err) {
+			s.healthy.Store(false)
+		}
+		return nil, err
+	}
+	if resp.Shards != len(r.shards) || resp.Shard != s.index {
+		s.healthy.Store(false)
+		return nil, fmt.Errorf("cluster: target %s answers as shard %d/%d, expected %d/%d: shard map misconfigured",
+			s.target, resp.Shard, resp.Shards, s.index, len(r.shards))
+	}
+	s.healthy.Store(true)
+	return resp, nil
+}
+
+func (r *Router) partialOnce(s *shardClient, body []byte) (*api.PartialResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.target+"/v1/partial", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eresp api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&eresp); err == nil && eresp.Error.Code != "" {
+			return nil, &eresp.Error
+		}
+		return nil, fmt.Errorf("cluster: %s/v1/partial returned status %d", s.target, resp.StatusCode)
+	}
+	var presp api.PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&presp); err != nil {
+		return nil, fmt.Errorf("cluster: decoding partial response from %s: %w", s.target, err)
+	}
+	return &presp, nil
+}
+
+// Result is the outcome of one routed cluster query. Estimate and
+// L1ErrorBound have the single-node semantics: the bound is the exact L1
+// distance budget 1 - sum(estimate), and it is valid even when shards were
+// lost mid-query — their unexpanded mass is simply part of the bound.
+type Result struct {
+	Query        graph.NodeID
+	Estimate     sparse.Vector
+	Iterations   int
+	L1ErrorBound float64
+	HubsExpanded int
+	HubsSkipped  int
+	// Degraded reports that the cluster could not evaluate the full schedule:
+	// at least one shard was down or failed, or the root had to be computed
+	// by a non-owner. The answer is still correct; its bound is just wider
+	// than a healthy cluster would have reported.
+	Degraded bool
+	// ShardsDown counts the shards that faulted (unreachable, internal
+	// failure, misconfigured) during this query. A shard that merely shed a
+	// sub-request under admission pressure degrades the answer but is not
+	// counted here.
+	ShardsDown int
+	// LostFrontierMass is the total prefix weight that could not be expanded
+	// because its owning shard was unavailable; it is an upper bound on how
+	// much of the reported error bound is due to degradation rather than the
+	// stopping condition.
+	LostFrontierMass float64
+	// RootFromIndex reports whether iteration 0 was served from a stored
+	// prime PPV (the query node is a hub) rather than computed on the fly.
+	RootFromIndex bool
+	// Duration is the end-to-end routed query time.
+	Duration time.Duration
+}
+
+// TopK returns the k best nodes of the estimate.
+func (res *Result) TopK(k int) []sparse.Entry { return res.Estimate.TopK(k) }
+
+// Query evaluates the PPV of q across the cluster under the stopping
+// condition stop, with the same semantics as core.Engine.Query: iteration 0
+// plus up to eta frontier expansions, stopping early on the target error,
+// the time limit, or an exhausted frontier.
+//
+// Failures degrade instead of erroring: the query only fails outright when no
+// shard at all can answer iteration 0.
+func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error) {
+	started := time.Now()
+	res := &Result{Query: q}
+	downShards := make(map[int]struct{})
+
+	root, rootShard, err := r.root(q, downShards)
+	if err != nil {
+		return nil, err
+	}
+	res.RootFromIndex = root.FromIndex
+	if rootShard != r.part.Owner(q) {
+		// A non-owner answered iteration 0; for a hub query node this means
+		// the estimate starts from a freshly computed (unclipped) prime PPV
+		// instead of the stored one, so the response is flagged degraded even
+		// though the bound is exact.
+		res.Degraded = true
+	}
+	estimate, err := root.Increment.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad root increment: %w", err)
+	}
+	frontier, err := root.Frontier.DecodeMap()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad root frontier: %w", err)
+	}
+	res.Estimate = estimate
+	mass := estimate.SumOrdered()
+	res.L1ErrorBound = 1 - mass
+
+	maxIter := stop.EffectiveMaxIterations()
+	for iter := 1; iter <= maxIter; iter++ {
+		if stop.TargetL1Error > 0 && res.L1ErrorBound <= stop.TargetL1Error {
+			break
+		}
+		if stop.TimeLimit > 0 && time.Since(started) >= stop.TimeLimit {
+			break
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		merged, nextFrontier := r.expand(frontier, iter, res, downShards)
+		massAdded := merged.SumOrdered()
+		estimate.AddVector(merged)
+		mass += massAdded
+		prev := res.L1ErrorBound
+		res.Iterations = iter
+		res.L1ErrorBound = 1 - mass
+		frontier = nextFrontier
+		if massAdded == 0 && res.L1ErrorBound >= prev {
+			break
+		}
+	}
+	res.ShardsDown = len(downShards)
+	if res.ShardsDown > 0 {
+		res.Degraded = true
+	}
+	res.Duration = time.Since(started)
+	return res, nil
+}
+
+// root obtains iteration 0 from the query node's owner shard, falling back to
+// the other shards in ascending order (healthy ones first) — any shard can
+// compute the prime PPV of any node from its graph copy, so a lost owner
+// costs accuracy of the clip, not correctness.
+func (r *Router) root(q graph.NodeID, down map[int]struct{}) (*api.PartialResponse, int, error) {
+	owner := r.part.Owner(q)
+	order := make([]*shardClient, 0, len(r.shards))
+	order = append(order, r.shards[owner])
+	for i, s := range r.shards {
+		if i != owner {
+			order = append(order, s)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].healthy.Load() && !order[j].healthy.Load()
+	})
+	var lastErr error
+	for _, s := range order {
+		resp, err := r.partial(s, &api.PartialRequest{Query: &q})
+		if err != nil {
+			// Only a shard fault excludes the shard from the rest of this
+			// query; a shed (overloaded) sub-request may well be accepted at
+			// the next iteration.
+			if shardFault(err) {
+				down[s.index] = struct{}{}
+			}
+			lastErr = err
+			continue
+		}
+		return resp, s.index, nil
+	}
+	return nil, -1, fmt.Errorf("cluster: no shard could answer iteration 0 for node %d: %w", q, lastErr)
+}
+
+// expand scatters one frontier to its owning shards and gathers the merged
+// increment and next frontier. Shards currently marked unhealthy (or already
+// seen failing in this query) are skipped outright: their prefix mass is
+// recorded as lost and the bound widens, keeping tail latency bounded by one
+// request round instead of one timeout per down shard per iteration. In
+// passive mode (no background probe) an unhealthy shard is attempted anyway —
+// a successful request is then the only path back to healthy.
+func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down map[int]struct{}) (sparse.Vector, map[graph.NodeID]float64) {
+	groups := make([]map[graph.NodeID]float64, len(r.shards))
+	for h, w := range frontier {
+		owner := r.part.Owner(h)
+		if groups[owner] == nil {
+			groups[owner] = make(map[graph.NodeID]float64)
+		}
+		groups[owner][h] = w
+	}
+
+	replies := make([]*api.PartialResponse, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, group := range groups {
+		if group == nil {
+			continue
+		}
+		s := r.shards[i]
+		_, seenDown := down[i]
+		if seenDown || (!s.healthy.Load() && !r.passive) {
+			errs[i] = fmt.Errorf("cluster: shard %d (%s) is down", i, s.target)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, group map[graph.NodeID]float64) {
+			defer wg.Done()
+			replies[i], errs[i] = r.partial(r.shards[i], &api.PartialRequest{
+				Frontier:  ptr(api.EncodeMap(group)),
+				Iteration: iter,
+			})
+		}(i, group)
+	}
+	wg.Wait()
+
+	// Merge in ascending shard order: deterministic accumulation, so two
+	// routed queries over the same cluster state answer identically.
+	merged := sparse.New(64)
+	next := make(map[graph.NodeID]float64)
+	for i := range r.shards {
+		group := groups[i]
+		if group == nil {
+			continue
+		}
+		// loseGroup accounts a failed sub-request: its prefix mass goes
+		// unexpanded (the exact bound widens by exactly that much) and the
+		// answer is degraded. Only shard faults exclude the shard from the
+		// rest of the query — a shed (overloaded) sub-request is retried at
+		// the next iteration and never reported as a down shard.
+		loseGroup := func(err error) {
+			if shardFault(err) {
+				down[i] = struct{}{}
+			}
+			for _, w := range group {
+				res.LostFrontierMass += w
+			}
+			res.Degraded = true
+		}
+		if errs[i] != nil || replies[i] == nil {
+			loseGroup(errs[i])
+			continue
+		}
+		reply := replies[i]
+		inc, err := reply.Increment.Decode()
+		if err == nil {
+			merged.AddVector(inc)
+			var front map[graph.NodeID]float64
+			if front, err = reply.Frontier.DecodeMap(); err == nil {
+				for h, w := range front {
+					next[h] += w
+				}
+			}
+		}
+		if err != nil {
+			loseGroup(err)
+			continue
+		}
+		res.HubsExpanded += reply.HubsExpanded
+		res.HubsSkipped += reply.HubsSkipped
+		for _, h := range reply.Unowned {
+			// The shard refused mass we routed to it: partition disagreement.
+			// The mass is lost (bound stays exact); surface it as degradation.
+			res.LostFrontierMass += group[h]
+			res.Degraded = true
+		}
+	}
+	return merged, next
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// ShardStats is the router's view of one shard, for stats endpoints.
+type ShardStats struct {
+	Shard         int     `json:"shard"`
+	Target        string  `json:"target"`
+	Healthy       bool    `json:"healthy"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	Retries       int64   `json:"retries"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	MaxLatencyMS  float64 `json:"max_latency_ms"`
+}
+
+// Stats summarizes the cluster as the router sees it.
+type Stats struct {
+	Nodes         int          `json:"nodes"`
+	ShardsHealthy int          `json:"shards_healthy"`
+	Shards        []ShardStats `json:"shards"`
+}
+
+// Stats returns a point-in-time snapshot of shard health and latency.
+func (r *Router) Stats() Stats {
+	st := Stats{Nodes: r.NumNodes()}
+	for _, s := range r.shards {
+		ss := ShardStats{
+			Shard:    s.index,
+			Target:   s.target,
+			Healthy:  s.healthy.Load(),
+			Requests: s.requests.Load(),
+			Failures: s.failures.Load(),
+			Retries:  s.retries.Load(),
+		}
+		if ss.Requests > 0 {
+			ss.MeanLatencyMS = float64(s.latencyUS.Load()) / float64(ss.Requests) / 1e3
+		}
+		ss.MaxLatencyMS = float64(s.maxUS.Load()) / 1e3
+		if ss.Healthy {
+			st.ShardsHealthy++
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// Healthy reports whether at least one shard is currently reachable.
+func (r *Router) Healthy() bool {
+	for _, s := range r.shards {
+		if s.healthy.Load() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fastppv/internal/api"
+	"fastppv/internal/core"
+	"fastppv/internal/gen"
+	"fastppv/internal/graph"
+)
+
+// shardHandler exposes the minimal shard-side surface the router needs:
+// /healthz, the graph size in /v1/stats, and the /v1/partial sub-query
+// endpoint, all backed directly by a (possibly sharded) core engine.
+func shardHandler(t testing.TB, e *core.Engine) http.Handler {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"graph": map[string]int{"nodes": e.Graph().NumNodes()},
+		})
+	})
+	mux.HandleFunc("/v1/partial", func(w http.ResponseWriter, r *http.Request) {
+		var preq api.PartialRequest
+		if err := json.NewDecoder(r.Body).Decode(&preq); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeBadRequest, Message: err.Error()}})
+			return
+		}
+		var (
+			part *core.PartialIncrement
+			err  error
+		)
+		switch {
+		case preq.Query != nil:
+			part, err = e.PartialRoot(*preq.Query)
+		case preq.Frontier != nil:
+			var frontier map[graph.NodeID]float64
+			if frontier, err = preq.Frontier.DecodeMap(); err == nil {
+				part, err = e.PartialExpand(frontier)
+			}
+		default:
+			err = &api.Error{Code: api.CodeBadRequest, Message: "neither query nor frontier"}
+		}
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeInternal, Message: err.Error()}})
+			return
+		}
+		p := e.Partition()
+		shards := p.Shards
+		if shards < 2 {
+			shards = 1
+		}
+		json.NewEncoder(w).Encode(api.PartialResponse{
+			Shard:        p.Shard,
+			Shards:       shards,
+			Increment:    api.EncodeVector(part.Increment),
+			Frontier:     api.EncodeMap(part.Frontier),
+			HubsExpanded: part.HubsExpanded,
+			HubsSkipped:  part.HubsSkipped,
+			Unowned:      part.Unowned,
+			FromIndex:    part.FromIndex,
+		})
+	})
+	return mux
+}
+
+// testCluster builds one single-node engine plus n sharded engines over the
+// same graph and returns them with their httptest servers.
+func testCluster(t *testing.T, shards int) (*core.Engine, []*core.Engine, []*httptest.Server) {
+	t.Helper()
+	g, err := gen.SocialGraph(gen.SocialConfig{Nodes: 700, OutDegreeMean: 6, Attachment: 0.7, Seed: 21})
+	if err != nil {
+		t.Fatalf("SocialGraph: %v", err)
+	}
+	base := core.Options{NumHubs: 90}
+	single, err := core.NewEngine(g, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*core.Engine, shards)
+	servers := make([]*httptest.Server, shards)
+	for s := 0; s < shards; s++ {
+		opts := base
+		if shards > 1 {
+			opts.Partition = core.Partition{Shard: s, Shards: shards}
+		}
+		e, err := core.NewEngine(g, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Precompute(); err != nil {
+			t.Fatal(err)
+		}
+		engines[s] = e
+		srv := httptest.NewServer(shardHandler(t, e))
+		t.Cleanup(srv.Close)
+		servers[s] = srv
+	}
+	return single, engines, servers
+}
+
+func targetsOf(servers []*httptest.Server) []string {
+	out := make([]string, len(servers))
+	for i, s := range servers {
+		out[i] = s.URL
+	}
+	return out
+}
+
+func TestRouterMatchesSingleNode(t *testing.T) {
+	single, _, servers := testCluster(t, 2)
+	r, err := NewRouter(RouterConfig{Targets: targetsOf(servers), HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumNodes() != single.Graph().NumNodes() {
+		t.Fatalf("router discovered %d nodes, want %d", r.NumNodes(), single.Graph().NumNodes())
+	}
+
+	for _, q := range []graph.NodeID{0, 3, 42, 311, 699} {
+		for _, eta := range []int{0, 2, 4} {
+			want, err := single.Query(q, core.StopCondition{MaxIterations: eta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Query(q, core.StopCondition{MaxIterations: eta})
+			if err != nil {
+				t.Fatalf("router Query(%d, eta=%d): %v", q, eta, err)
+			}
+			if got.Degraded || got.ShardsDown != 0 {
+				t.Fatalf("q=%d eta=%d: healthy cluster answered degraded (%d shards down)", q, eta, got.ShardsDown)
+			}
+			if math.Abs(got.L1ErrorBound-want.L1ErrorBound) > 1e-12 {
+				t.Errorf("q=%d eta=%d: bound %.15f, single node %.15f", q, eta, got.L1ErrorBound, want.L1ErrorBound)
+			}
+			if d := got.Estimate.L1Distance(want.Estimate); d > 1e-12 {
+				t.Errorf("q=%d eta=%d: estimate L1 distance %.3e from single node", q, eta, d)
+			}
+			wantTop, gotTop := want.TopK(10), got.TopK(10)
+			for i := range wantTop {
+				if wantTop[i].Node != gotTop[i].Node {
+					t.Errorf("q=%d eta=%d: top-k rank %d node %d, want %d", q, eta, i, gotTop[i].Node, wantTop[i].Node)
+				}
+			}
+		}
+	}
+}
+
+func TestRouterTargetErrorStop(t *testing.T) {
+	single, _, servers := testCluster(t, 2)
+	r, err := NewRouter(RouterConfig{Targets: targetsOf(servers), HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	stop := core.StopCondition{MaxIterations: 8, TargetL1Error: 0.25}
+	want, err := single.Query(5, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Query(5, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("router stopped after %d iterations, single node after %d", got.Iterations, want.Iterations)
+	}
+	if math.Abs(got.L1ErrorBound-want.L1ErrorBound) > 1e-12 {
+		t.Errorf("bound %.15f, want %.15f", got.L1ErrorBound, want.L1ErrorBound)
+	}
+}
+
+func TestRouterShardDownWidensBound(t *testing.T) {
+	_, _, servers := testCluster(t, 2)
+	r, err := NewRouter(RouterConfig{Targets: targetsOf(servers), HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Pick a query node owned by shard 0 so iteration 0 survives shard 1
+	// going down.
+	part := core.Partition{Shards: 2}
+	var q graph.NodeID
+	for ; part.Owner(q) != 0; q++ {
+	}
+	stop := core.StopCondition{MaxIterations: 3}
+	healthy, err := r.Query(q, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded {
+		t.Fatal("healthy cluster reported degraded")
+	}
+
+	servers[1].Close()
+	down, err := r.Query(q, stop)
+	if err != nil {
+		t.Fatalf("query with one shard down must degrade, not fail: %v", err)
+	}
+	if !down.Degraded || down.ShardsDown != 1 {
+		t.Errorf("Degraded=%v ShardsDown=%d, want degraded with 1 shard down", down.Degraded, down.ShardsDown)
+	}
+	if down.LostFrontierMass <= 0 {
+		t.Errorf("LostFrontierMass = %v, want > 0 when a contributing shard is lost", down.LostFrontierMass)
+	}
+	if down.L1ErrorBound <= healthy.L1ErrorBound {
+		t.Errorf("bound with shard down %.12f not wider than healthy %.12f", down.L1ErrorBound, healthy.L1ErrorBound)
+	}
+	// The reported bound must stay exact: 1 - sum(estimate).
+	if got := 1 - down.Estimate.SumOrdered(); math.Abs(got-down.L1ErrorBound) > 1e-12 {
+		t.Errorf("reported bound %.15f but 1-mass is %.15f", down.L1ErrorBound, got)
+	}
+	// Subsequent queries (passive mode re-attempts the dead shard and fails
+	// fast on the refused connection) stay degraded, not erroring.
+	again, err := r.Query(q, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Degraded {
+		t.Error("dead shard came back without a health probe?")
+	}
+
+	servers[0].Close()
+	if _, err := r.Query(q, stop); err == nil {
+		t.Error("query must fail when no shard can answer iteration 0")
+	}
+}
+
+func TestRouterRootFallsBackToOtherShard(t *testing.T) {
+	_, _, servers := testCluster(t, 2)
+	// Pick a query node owned by shard 1, then kill shard 1 before the router
+	// ever sees it: iteration 0 must fall back to shard 0.
+	part := core.Partition{Shards: 2}
+	var q graph.NodeID
+	for ; part.Owner(q) != 1; q++ {
+	}
+	servers[1].Close()
+	r, err := NewRouter(RouterConfig{Targets: targetsOf(servers), HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Query(q, core.StopCondition{MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("root fallback failed: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("non-owner root must be flagged degraded")
+	}
+	if res.L1ErrorBound >= 1 || len(res.Estimate) == 0 {
+		t.Errorf("fallback answer is empty: bound=%v entries=%d", res.L1ErrorBound, len(res.Estimate))
+	}
+}
+
+// TestRouterRetriesTransientErrors: a shard answering with the structured
+// "retry" code (index descriptor swapped mid-read, e.g. a restart or
+// compaction) is retried once instead of being declared down.
+func TestRouterRetriesTransientErrors(t *testing.T) {
+	_, engines, _ := testCluster(t, 1)
+	inner := shardHandler(t, engines[0])
+	var failures atomic.Int32
+	failures.Store(1)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/partial" && failures.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeRetry, Message: "index closed during restart"}})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	r, err := NewRouter(RouterConfig{Targets: []string{flaky.URL}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Query(3, core.StopCondition{MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("query should survive one transient retry-coded failure: %v", err)
+	}
+	if res.Degraded {
+		t.Error("a retried transient failure must not mark the answer degraded")
+	}
+	if got := r.Stats().Shards[0].Retries; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+// TestRouterRejectsMisconfiguredShardMap: a target answering with the wrong
+// partition is treated as failed, not silently merged.
+func TestRouterRejectsMisconfiguredShardMap(t *testing.T) {
+	_, _, servers := testCluster(t, 2)
+	// Swap the targets: shard 1's server listed as shard 0 and vice versa.
+	r, err := NewRouter(RouterConfig{Targets: []string{servers[1].URL, servers[0].URL}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Query(1, core.StopCondition{MaxIterations: 2})
+	if err == nil && !res.Degraded {
+		t.Error("swapped shard map must degrade or fail, not answer cleanly")
+	}
+}
+
+// TestRouterDeterministicUnderConcurrency: concurrent identical queries must
+// merge shard increments in the same order and agree bit-for-bit (run under
+// -race in CI).
+func TestRouterDeterministicUnderConcurrency(t *testing.T) {
+	_, _, servers := testCluster(t, 3)
+	r, err := NewRouter(RouterConfig{Targets: targetsOf(servers), HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const workers = 8
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := r.Query(11, core.StopCondition{MaxIterations: 3})
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	ref := results[0]
+	if ref == nil {
+		t.Fatal("no reference result")
+	}
+	for w := 1; w < workers; w++ {
+		got := results[w]
+		if got == nil {
+			continue
+		}
+		if got.L1ErrorBound != ref.L1ErrorBound {
+			t.Errorf("worker %d bound %v differs from %v", w, got.L1ErrorBound, ref.L1ErrorBound)
+		}
+		if len(got.Estimate) != len(ref.Estimate) {
+			t.Fatalf("worker %d estimate has %d entries, want %d", w, len(got.Estimate), len(ref.Estimate))
+		}
+		for n, s := range ref.Estimate {
+			if got.Estimate[n] != s {
+				t.Fatalf("worker %d estimate[%d] = %v, want bit-identical %v", w, n, got.Estimate[n], s)
+			}
+		}
+	}
+}
+
+func TestRouterHealthProbeRecovery(t *testing.T) {
+	_, engines, _ := testCluster(t, 1)
+	inner := shardHandler(t, engines[0])
+	var downFlag atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if downFlag.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	r, err := NewRouter(RouterConfig{Targets: []string{srv.URL}, HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Healthy() {
+		t.Fatal("shard should be healthy at start")
+	}
+	downFlag.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Healthy() {
+		t.Fatal("health probe never noticed the shard going down")
+	}
+	downFlag.Store(false)
+	for !r.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !r.Healthy() {
+		t.Fatal("health probe never restored the shard")
+	}
+	if res, err := r.Query(2, core.StopCondition{MaxIterations: 2}); err != nil || res.Degraded {
+		t.Errorf("recovered shard should serve cleanly: res=%+v err=%v", res, err)
+	}
+}
+
+// TestRouterPassiveModeRecovers: with the background probe disabled, a shard
+// that failed once must be re-attempted by later queries and restored on the
+// first success — a transient failure must not disable it forever.
+func TestRouterPassiveModeRecovers(t *testing.T) {
+	_, engines, _ := testCluster(t, 1)
+	inner := shardHandler(t, engines[0])
+	var downFlag atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if downFlag.Load() && r.URL.Path == "/v1/partial" {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeInternal, Message: "boom"}})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	r, err := NewRouter(RouterConfig{Targets: []string{srv.URL}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	downFlag.Store(true)
+	if _, err := r.Query(2, core.StopCondition{MaxIterations: 1}); err == nil {
+		t.Fatal("query against the failing single shard should error (no root)")
+	}
+	if r.Healthy() {
+		t.Fatal("shard fault should have marked the shard unhealthy")
+	}
+	downFlag.Store(false)
+	res, err := r.Query(2, core.StopCondition{MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("passive mode never recovered the shard: %v", err)
+	}
+	if res.Degraded {
+		t.Error("recovered shard answered the whole query; result must not be degraded")
+	}
+	if !r.Healthy() {
+		t.Error("a successful request must restore shard health in passive mode")
+	}
+}
+
+// TestRouterOverloadDoesNotPoisonHealth: a shard shedding one request under
+// admission pressure stays healthy — only shard faults flip the flag.
+func TestRouterOverloadDoesNotPoisonHealth(t *testing.T) {
+	_, engines, _ := testCluster(t, 1)
+	inner := shardHandler(t, engines[0])
+	var partials atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed exactly the second partial: the root succeeds, the first
+		// frontier expansion is rejected by admission.
+		if r.URL.Path == "/v1/partial" && partials.Add(1) == 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.Error{Code: api.CodeOverloaded, Message: "pools full"}})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	r, err := NewRouter(RouterConfig{Targets: []string{srv.URL}, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.Query(2, core.StopCondition{MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("a shed expansion must degrade, not fail: %v", err)
+	}
+	if !res.Degraded || res.LostFrontierMass <= 0 {
+		t.Errorf("shed expansion should cost its mass: degraded=%v lost=%v", res.Degraded, res.LostFrontierMass)
+	}
+	if res.ShardsDown != 0 {
+		t.Errorf("ShardsDown = %d: an admission-shed sub-request is not a shard outage", res.ShardsDown)
+	}
+	if !r.Healthy() {
+		t.Error("one admission rejection must not mark the shard unhealthy")
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Error("empty target list should be rejected")
+	}
+	if _, err := NewRouter(RouterConfig{Targets: []string{"  "}}); err == nil {
+		t.Error("blank target should be rejected")
+	}
+}

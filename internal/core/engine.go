@@ -85,6 +85,13 @@ func NewEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) 
 // opts must match the options the index was precomputed with (Alpha in
 // particular — the stored prime PPVs embed it); the index format does not
 // record them, so this cannot be verified here.
+//
+// When opts.Partition is sharded, the index holds only the hubs this shard
+// owns, but prime-subgraph semantics need the full hub set (stored PPVs block
+// at every hub). Hub selection is therefore re-run — it is deterministic given
+// the graph and options — and every indexed hub is checked to be a selected
+// hub owned by this shard, so opening the wrong shard's file or a file built
+// with different options fails instead of serving silently wrong partials.
 func NewServingEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -102,10 +109,26 @@ func NewServingEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, 
 			return nil, fmt.Errorf("core: index/graph mismatch: indexed hub %d outside [0,%d)", h, g.NumNodes())
 		}
 	}
+	hubSet := hub.NewSet(hubNodes)
+	if opts.Partition.Enabled() {
+		hubSet, err = selectHubs(g, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: recovering the full hub set for shard %s: %w", opts.Partition, err)
+		}
+		for _, h := range hubNodes {
+			if !hubSet.Contains(h) {
+				return nil, fmt.Errorf("core: indexed hub %d is not a selected hub; the index was built with different options", h)
+			}
+			if !opts.Partition.Owns(h) {
+				return nil, fmt.Errorf("core: indexed hub %d belongs to shard %d, not %s; wrong shard index file",
+					h, opts.Partition.Owner(h), opts.Partition)
+			}
+		}
+	}
 	e := &Engine{
 		g:           g,
 		opts:        opts,
-		hubs:        hub.NewSet(hubNodes),
+		hubs:        hubSet,
 		index:       index,
 		precomputed: true,
 	}
@@ -129,6 +152,10 @@ func (e *Engine) Index() ppvindex.Index { return e.index }
 // Options returns the engine options after defaulting.
 func (e *Engine) Options() Options { return e.opts }
 
+// Partition returns the hub partition this engine serves (zero value when
+// unsharded).
+func (e *Engine) Partition() Partition { return e.opts.Partition }
+
 // OfflineStats returns the statistics of the last Precompute run.
 func (e *Engine) OfflineStats() OfflineStats { return e.offline }
 
@@ -136,36 +163,61 @@ func (e *Engine) OfflineStats() OfflineStats { return e.offline }
 // ready to answer queries. Long-lived servers use it as their readiness check.
 func (e *Engine) Precomputed() bool { return e.precomputed }
 
+// selectHubs runs hub selection for g under opts. It is deterministic given
+// (graph, options), which sharded serving relies on: every shard and every
+// reopen of a shard index recovers the same full hub set.
+func selectHubs(g *graph.Graph, opts Options) (*hub.Set, error) {
+	numHubs := opts.NumHubs
+	if numHubs == 0 {
+		numHubs = hub.SuggestHubCount(g, 0, 0)
+	}
+	hubs, err := hub.Select(g, hub.Options{
+		Policy:          opts.HubPolicy,
+		Count:           numHubs,
+		PageRank:        opts.PageRank,
+		PageRankOptions: pagerank.Options{Alpha: opts.Alpha},
+		Seed:            opts.HubSeed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: hub selection: %w", err)
+	}
+	return hubs, nil
+}
+
 // Precompute runs the offline phase (Algorithm 1): select |H| hubs by the
 // configured policy and compute and store the prime PPV of every hub. It can
 // be called again after the options or graph change; the index is refilled.
+//
+// With a sharded Partition, selection still covers the full hub set but only
+// the prime PPVs of the hubs this shard owns are computed and stored — the
+// per-shard offline cost and index size shrink by the shard count.
 func (e *Engine) Precompute() error {
 	start := time.Now()
 
-	numHubs := e.opts.NumHubs
-	if numHubs == 0 {
-		numHubs = hub.SuggestHubCount(e.g, 0, 0)
-	}
-	hubs, err := hub.Select(e.g, hub.Options{
-		Policy:          e.opts.HubPolicy,
-		Count:           numHubs,
-		PageRank:        e.opts.PageRank,
-		PageRankOptions: pagerank.Options{Alpha: e.opts.Alpha},
-		Seed:            e.opts.HubSeed,
-	})
+	hubs, err := selectHubs(e.g, e.opts)
 	if err != nil {
-		return fmt.Errorf("core: hub selection: %w", err)
+		return err
 	}
 	e.hubs = hubs
 	selectionDone := time.Now()
 
-	stats, err := e.computeHubPPVs(hubs.Hubs())
+	toCompute := hubs.Hubs()
+	if e.opts.Partition.Enabled() {
+		owned := make([]graph.NodeID, 0, len(toCompute)/e.opts.Partition.Shards+1)
+		for _, h := range toCompute {
+			if e.opts.Partition.Owns(h) {
+				owned = append(owned, h)
+			}
+		}
+		toCompute = owned
+	}
+	stats, err := e.computeHubPPVs(toCompute)
 	if err != nil {
 		return err
 	}
 
 	e.offline = stats
-	e.offline.Hubs = hubs.Size()
+	e.offline.Hubs = len(toCompute)
 	e.offline.HubSelection = selectionDone.Sub(start)
 	e.offline.PrimePPV = time.Since(selectionDone)
 	e.offline.Total = time.Since(start)

@@ -93,6 +93,14 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 
 	var affected []graph.NodeID
 	for _, h := range e.hubs.Hubs() {
+		// A sharded engine maintains only the hubs its partition owns: an
+		// unowned hub is absent from the index by design, and recomputing it
+		// here would both duplicate its owner's work and insert a foreign hub
+		// into this shard's index (breaking the partition invariant the disk
+		// store's update-log replay checks).
+		if !e.opts.Partition.Owns(h) {
+			continue
+		}
 		ppv, ok, err := e.index.Get(h)
 		if err != nil {
 			return stats, fmt.Errorf("core: reading prime PPV of hub %d: %w", h, err)

@@ -61,6 +61,12 @@ type Options struct {
 	// MaxPushes caps the per-prime-PPV expansion work; zero uses the prime
 	// package default.
 	MaxPushes int
+	// Partition restricts the engine to one horizontal shard of the hub
+	// index: hub selection still runs over the whole graph (prime PPVs block
+	// at every hub, owned or not), but only the hubs this shard owns are
+	// precomputed, stored and expanded by the partial-query path. The zero
+	// value is unsharded.
+	Partition Partition
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -90,6 +96,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Workers < 0 {
 		return o, errors.New("core: negative Workers")
+	}
+	if err := o.Partition.validate(); err != nil {
+		return o, err
 	}
 	return o, nil
 }
@@ -136,3 +145,9 @@ func (s StopCondition) maxIterations() int {
 	}
 	return s.MaxIterations
 }
+
+// EffectiveMaxIterations resolves the MaxIterations convention (negative =
+// unbounded) into a concrete iteration cap. Distributed query drivers (the
+// cluster router) use it so routed and local queries stop after the same
+// number of iterations for the same StopCondition.
+func (s StopCondition) EffectiveMaxIterations() int { return s.maxIterations() }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fastppv/internal/graph"
+)
+
+// Partition describes one horizontal shard of the hub index: hub h belongs to
+// shard Owner(h) of Shards. Partitioning is by a fixed hash over the hub id,
+// so ownership is a pure function of (hub, Shards) — every process that agrees
+// on the shard count agrees on the assignment without any coordination, and a
+// router can address the owner of a hub without a directory service.
+//
+// The scheduled-approximation decomposition makes this split clean: a PPV
+// query is a sum of per-hub sub-queries aggregated in decreasing order of
+// importance, so a shard holding 1/n of the hub PPVs can evaluate exactly its
+// share of every increment (Engine.PartialExpand) and the error bound composes
+// additively across shards — mass a shard does not contribute is exactly the
+// mass missing from 1 - sum(estimate).
+type Partition struct {
+	// Shard is this engine's shard number in [0, Shards).
+	Shard int
+	// Shards is the total number of shards; 0 or 1 means unsharded.
+	Shards int
+}
+
+// Enabled reports whether the partition actually splits the hub set.
+func (p Partition) Enabled() bool { return p.Shards > 1 }
+
+// validate rejects inconsistent shard specs.
+func (p Partition) validate() error {
+	if p.Shards < 0 || p.Shard < 0 {
+		return fmt.Errorf("core: negative shard spec %s", p)
+	}
+	if p.Shards > 1 && p.Shard >= p.Shards {
+		return fmt.Errorf("core: shard %d outside [0,%d)", p.Shard, p.Shards)
+	}
+	return nil
+}
+
+// Owner returns the shard that owns hub h. The mapping is the splitmix64
+// finalizer over the node id, reduced modulo the shard count — chosen over a
+// plain modulus so that graphs whose high-degree nodes cluster in an id range
+// (common for generators and crawl orders) still spread their hubs evenly.
+// The constants are part of the on-the-wire contract between shards and
+// routers and must not change.
+func (p Partition) Owner(h graph.NodeID) int {
+	if p.Shards <= 1 {
+		return 0
+	}
+	x := uint64(uint32(h))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(p.Shards))
+}
+
+// Owns reports whether this partition's shard owns hub h. An unsharded
+// partition owns everything.
+func (p Partition) Owns(h graph.NodeID) bool {
+	return !p.Enabled() || p.Owner(h) == p.Shard
+}
+
+// String renders the spec in the "shard/shards" form the CLIs accept.
+func (p Partition) String() string {
+	if !p.Enabled() {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", p.Shard, p.Shards)
+}
+
+// ParsePartition parses a "i/n" shard spec (e.g. "0/4"): shard i of n.
+func ParsePartition(s string) (Partition, error) {
+	var p Partition
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return p, fmt.Errorf("core: shard spec %q is not of the form i/n", s)
+	}
+	var err error
+	if p.Shard, err = strconv.Atoi(strings.TrimSpace(i)); err != nil {
+		return p, fmt.Errorf("core: bad shard index in %q", s)
+	}
+	if p.Shards, err = strconv.Atoi(strings.TrimSpace(n)); err != nil {
+		return p, fmt.Errorf("core: bad shard count in %q", s)
+	}
+	if p.Shards < 1 || p.Shard < 0 || p.Shard >= p.Shards {
+		return p, fmt.Errorf("core: shard spec %q outside 0 <= i < n", s)
+	}
+	return p, p.validate()
+}

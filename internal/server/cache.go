@@ -28,8 +28,14 @@ type cachedAnswer struct {
 	// ascending order (core.QueryState.HubDeps); invalidation is keyed on them.
 	deps []graph.NodeID
 	// degraded marks answers produced by the admission-control degradation
-	// path; they answer fewer iterations than requested and are never cached.
+	// path or by a cluster that lost shards mid-query; they answer with less
+	// accuracy than a healthy full-service computation and are never cached.
 	degraded bool
+	// shardsDown and lostMass describe cluster degradation (router mode
+	// only): how many shards were unavailable and how much frontier mass went
+	// unexpanded because of it.
+	shardsDown int
+	lostMass   float64
 	// bytes is the estimated memory footprint used for budget accounting.
 	bytes int64
 }

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fastppv/internal/api"
+	"fastppv/internal/cluster"
+	"fastppv/internal/core"
+	"fastppv/internal/graph"
+	"fastppv/internal/ppvindex"
+	"fastppv/internal/sparse"
+)
+
+// shardedServers precomputes `shards` hub-partitioned engines over g and
+// serves each through a real Server (so /v1/partial is the production
+// handler), returning the shard URLs.
+func shardedServers(t *testing.T, g *graph.Graph, numHubs, shards int) []*httptest.Server {
+	t.Helper()
+	out := make([]*httptest.Server, shards)
+	for i := 0; i < shards; i++ {
+		opts := core.Options{NumHubs: numHubs}
+		if shards > 1 {
+			opts.Partition = core.Partition{Shard: i, Shards: shards}
+		}
+		e, err := core.NewEngine(g, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Precompute(); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(e, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		out[i] = ts
+	}
+	return out
+}
+
+func routerServer(t *testing.T, shardURLs []string) (*httptest.Server, *cluster.Router) {
+	t.Helper()
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Targets: shardURLs, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv, err := NewRouter(rt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, rt
+}
+
+// TestClusterEndToEndMatchesSingleNode drives the full production stack —
+// shard daemons with the real /v1/partial handler, router, router-fronting
+// server — and checks the answers against a single-node server.
+func TestClusterEndToEndMatchesSingleNode(t *testing.T) {
+	g := socialGraph(t, 600)
+	single, err := New(testEngine(t, g, 80), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleTS := httptest.NewServer(single.Handler())
+	defer singleTS.Close()
+
+	shards := shardedServers(t, g, 80, 2)
+	routerTS, _ := routerServer(t, []string{shards[0].URL, shards[1].URL})
+
+	for _, node := range []int{1, 33, 257, 599} {
+		path := fmt.Sprintf("/v1/ppv?node=%d&eta=3&top=10", node)
+		st1, _, body1 := get(t, singleTS, path)
+		st2, _, body2 := get(t, routerTS, path)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("node %d: single=%d router=%d: %s / %s", node, st1, st2, body1, body2)
+		}
+		var r1, r2 QueryResponse
+		if err := json.Unmarshal(body1, &r1); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(body2, &r2); err != nil {
+			t.Fatal(err)
+		}
+		if r2.Degraded || r2.ShardsDown != 0 {
+			t.Fatalf("node %d: healthy cluster answered degraded: %s", node, body2)
+		}
+		if math.Abs(r1.L1ErrorBound-r2.L1ErrorBound) > 1e-12 {
+			t.Errorf("node %d: router bound %.15f, single-node %.15f", node, r2.L1ErrorBound, r1.L1ErrorBound)
+		}
+		if len(r1.Results) != len(r2.Results) {
+			t.Fatalf("node %d: %d results via router, %d single-node", node, len(r2.Results), len(r1.Results))
+		}
+		for i := range r1.Results {
+			if r1.Results[i].Node != r2.Results[i].Node {
+				t.Errorf("node %d rank %d: router node %d, single-node %d",
+					node, i, r2.Results[i].Node, r1.Results[i].Node)
+			}
+			if math.Abs(r1.Results[i].Score-r2.Results[i].Score) > 1e-12 {
+				t.Errorf("node %d rank %d: router score %v, single-node %v",
+					node, i, r2.Results[i].Score, r1.Results[i].Score)
+			}
+		}
+	}
+
+	// The router front caches: a repeated query is a byte-identical hit.
+	path := "/v1/ppv?node=33&eta=3&top=10"
+	_, hdr1, first := get(t, routerTS, path)
+	if hdr1.Get("X-Fastppv-Cache") != "miss" {
+		// already queried above
+		t.Logf("first state: %s", hdr1.Get("X-Fastppv-Cache"))
+	}
+	_, hdr2, second := get(t, routerTS, path)
+	if hdr2.Get("X-Fastppv-Cache") != "hit" {
+		t.Errorf("repeat query not served from the router cache: %s", hdr2.Get("X-Fastppv-Cache"))
+	}
+	if string(first) != string(second) {
+		t.Error("cached router response differs from computed one")
+	}
+}
+
+// TestClusterShardDownDegrades kills one shard and checks the router front
+// keeps answering with a widened bound, flags the degradation, and does not
+// cache the degraded answer.
+func TestClusterShardDownDegrades(t *testing.T) {
+	g := socialGraph(t, 400)
+	shards := shardedServers(t, g, 60, 2)
+	routerTS, rt := routerServer(t, []string{shards[0].URL, shards[1].URL})
+
+	part := core.Partition{Shards: 2}
+	node := 0
+	for ; part.Owner(graph.NodeID(node)) != 0; node++ {
+	}
+	path := fmt.Sprintf("/v1/ppv?node=%d&eta=3&top=5", node)
+	st, _, healthyBody := get(t, routerTS, path)
+	if st != http.StatusOK {
+		t.Fatalf("healthy query failed: %d %s", st, healthyBody)
+	}
+	var healthy QueryResponse
+	if err := json.Unmarshal(healthyBody, &healthy); err != nil {
+		t.Fatal(err)
+	}
+
+	shards[1].Close()
+	// Use a different eta so the healthy cached answer is not returned.
+	downPath := fmt.Sprintf("/v1/ppv?node=%d&eta=4&top=5", node)
+	st, hdr, downBody := get(t, routerTS, downPath)
+	if st != http.StatusOK {
+		t.Fatalf("query with one shard down must still answer: %d %s", st, downBody)
+	}
+	var down QueryResponse
+	if err := json.Unmarshal(downBody, &down); err != nil {
+		t.Fatal(err)
+	}
+	if !down.Degraded || down.ShardsDown != 1 {
+		t.Errorf("degraded=%v shards_down=%d, want degraded with one shard down: %s", down.Degraded, down.ShardsDown, downBody)
+	}
+	if down.LostErrorMass <= 0 {
+		t.Errorf("lost_error_mass = %v, want > 0", down.LostErrorMass)
+	}
+	if down.L1ErrorBound <= healthy.L1ErrorBound {
+		t.Errorf("bound %.12f with a shard down not wider than healthy %.12f (eta even increased)",
+			down.L1ErrorBound, healthy.L1ErrorBound)
+	}
+	if hdr.Get("X-Fastppv-Cache") == "hit" {
+		t.Error("degraded answer served from cache")
+	}
+	// Degraded answers must not be cached.
+	_, hdr, _ = get(t, routerTS, downPath)
+	if hdr.Get("X-Fastppv-Cache") == "hit" {
+		t.Error("degraded answer was cached")
+	}
+	if !rt.Healthy() {
+		t.Error("one live shard left; router should still be healthy")
+	}
+}
+
+func TestRouterModeUnsupportedEndpoints(t *testing.T) {
+	g := socialGraph(t, 200)
+	shards := shardedServers(t, g, 30, 1)
+	routerTS, _ := routerServer(t, []string{shards[0].URL})
+
+	for _, c := range []struct{ path, body string }{
+		{"/v1/update", `{"added_edges":[[1,2]]}`},
+		{"/v1/compact", ""},
+		{"/v1/partial", `{"query":3}`},
+	} {
+		status, body := post(t, routerTS, c.path, c.body)
+		if status != http.StatusNotImplemented {
+			t.Errorf("POST %s on router = %d, want 501: %s", c.path, status, body)
+		}
+		var eresp api.ErrorResponse
+		if err := json.Unmarshal(body, &eresp); err != nil || eresp.Error.Code != api.CodeUnsupported {
+			t.Errorf("POST %s error code = %q, want %q (%s)", c.path, eresp.Error.Code, api.CodeUnsupported, body)
+		}
+	}
+
+	// Health and stats still work and report the cluster.
+	status, _, body := get(t, routerTS, "/healthz")
+	if status != http.StatusOK {
+		t.Errorf("router healthz = %d: %s", status, body)
+	}
+	status, _, body = get(t, routerTS, "/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("router stats = %d", status)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil || len(st.Cluster.Shards) != 1 || st.Cluster.ShardsHealthy != 1 {
+		t.Errorf("router stats cluster section wrong: %s", body)
+	}
+	if st.Graph.Nodes != g.NumNodes() {
+		t.Errorf("router stats nodes = %d, want %d", st.Graph.Nodes, g.NumNodes())
+	}
+}
+
+func TestStructuredErrorCodes(t *testing.T) {
+	g := socialGraph(t, 200)
+	srv, err := New(testEngine(t, g, 30), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	decode := func(body []byte) api.ErrorResponse {
+		var e api.ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("error body %s is not the structured envelope: %v", body, err)
+		}
+		return e
+	}
+	status, _, body := get(t, ts, "/v1/ppv?node=999999")
+	if e := decode(body); status != http.StatusBadRequest || e.Error.Code != api.CodeBadRequest {
+		t.Errorf("out-of-range node: status %d code %q", status, e.Error.Code)
+	}
+	status, body = post(t, ts, "/v1/partial", `{}`)
+	if e := decode(body); status != http.StatusBadRequest || e.Error.Code != api.CodeBadRequest {
+		t.Errorf("empty partial: status %d code %q", status, e.Error.Code)
+	}
+	status, body = post(t, ts, "/v1/partial", `{"query":1,"frontier":{"nodes":[],"scores":[]}}`)
+	if e := decode(body); status != http.StatusBadRequest || e.Error.Code != api.CodeBadRequest {
+		t.Errorf("ambiguous partial: status %d code %q", status, e.Error.Code)
+	}
+	status, body = post(t, ts, "/v1/compact", "")
+	if e := decode(body); status != http.StatusPreconditionFailed || e.Error.Code != api.CodeUnsupported {
+		t.Errorf("compact on memory index: status %d code %q", status, e.Error.Code)
+	}
+}
+
+// TestPartialEndpoint exercises the shard-side protocol directly: a root
+// answer must be the query's prime PPV, and an expansion must match the
+// engine's own PartialExpand.
+func TestPartialEndpoint(t *testing.T) {
+	g := socialGraph(t, 300)
+	e := testEngine(t, g, 40)
+	srv, err := New(e, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := post(t, ts, "/v1/partial", `{"query":5}`)
+	if status != http.StatusOK {
+		t.Fatalf("root partial = %d: %s", status, body)
+	}
+	var root api.PartialResponse
+	if err := json.Unmarshal(body, &root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Shard != 0 || root.Shards != 1 {
+		t.Errorf("unsharded engine reports %d/%d, want 0/1", root.Shard, root.Shards)
+	}
+	want, err := e.PartialRoot(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := root.Increment.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inc.L1Distance(want.Increment); d != 0 {
+		t.Errorf("root increment differs from engine by %v", d)
+	}
+	frontier, err := root.Frontier.DecodeMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) != len(want.Frontier) {
+		t.Errorf("root frontier has %d hubs, want %d", len(frontier), len(want.Frontier))
+	}
+
+	wire := api.EncodeMap(frontier)
+	reqBody, _ := json.Marshal(api.PartialRequest{Frontier: &wire, Iteration: 1})
+	status, body = post(t, ts, "/v1/partial", string(reqBody))
+	if status != http.StatusOK {
+		t.Fatalf("expand partial = %d: %s", status, body)
+	}
+	var exp api.PartialResponse
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatal(err)
+	}
+	wantExp, err := e.PartialExpand(frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInc, err := exp.Increment.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gotInc.L1Distance(wantExp.Increment); d != 0 {
+		t.Errorf("expansion increment differs from engine by %v", d)
+	}
+	if exp.HubsExpanded != wantExp.HubsExpanded || exp.HubsSkipped != wantExp.HubsSkipped {
+		t.Errorf("expanded/skipped = %d/%d, want %d/%d",
+			exp.HubsExpanded, exp.HubsSkipped, wantExp.HubsExpanded, wantExp.HubsSkipped)
+	}
+}
+
+// warmableIndex wraps a MemIndex and records warm requests, standing in for
+// the disk store's block cache in warming tests.
+type warmableIndex struct {
+	*ppvindex.MemIndex
+	warmedHubs []graph.NodeID
+}
+
+func (w *warmableIndex) WarmHubs(hubs []graph.NodeID) int {
+	w.warmedHubs = append(w.warmedHubs, hubs...)
+	return len(hubs)
+}
+
+func TestServerWarmsHottestHubs(t *testing.T) {
+	g := socialGraph(t, 300)
+	base := testEngine(t, g, 40)
+	idx := &warmableIndex{MemIndex: ppvindex.NewMemIndex()}
+	for _, h := range base.Index().Hubs() {
+		v, _, err := base.Index().Get(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Put(h, sparse.Vector(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewServingEngine(g, idx, core.Options{NumHubs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(e, Config{WarmHubs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.warmedHubs) != 7 {
+		t.Fatalf("warmed %d hubs, want 7", len(idx.warmedHubs))
+	}
+	// Hottest-first: out-degrees must be non-increasing.
+	for i := 1; i < len(idx.warmedHubs); i++ {
+		if g.OutDegree(idx.warmedHubs[i-1]) < g.OutDegree(idx.warmedHubs[i]) {
+			t.Errorf("warm order not by descending out-degree at %d", i)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, _, body := get(t, ts, "/v1/stats")
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Warming == nil || st.Warming.Warmed != 7 || st.Warming.Requested != 7 {
+		t.Errorf("stats warming = %+v, want 7/7", st.Warming)
+	}
+}

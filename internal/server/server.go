@@ -22,6 +22,21 @@
 // cached or coalesced response is byte-identical to a cold computation at the
 // same eta. Volatile serving metadata (cache disposition, compute time)
 // travels in X-Fastppv-* headers, never in the body.
+//
+// A Server fronts one of two backends with the same caching, coalescing and
+// admission layers:
+//
+//   - a local core.Engine (New) — the single-node and shard configurations;
+//     a sharded engine additionally serves POST /v1/partial, the sub-query
+//     endpoint of the cluster protocol (internal/api);
+//   - a cluster.Router (NewRouter) — the scatter-gather front of a
+//     hub-partitioned cluster, where each query fans out to the shards and
+//     the exact error bound is composed from their partial answers.
+//
+// Errors are structured (internal/api): every non-2xx body carries
+// {"error": {"code", "message"}} so routers and load generators can
+// distinguish client mistakes, admission rejection, transient retry
+// conditions and unsupported endpoints machine-readably.
 package server
 
 import (
@@ -31,11 +46,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fastppv/internal/api"
+	"fastppv/internal/cluster"
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
 	"fastppv/internal/ppvindex"
@@ -67,6 +85,12 @@ type Config struct {
 	// QueueWait is how long a request waits for a computation slot before
 	// being served degraded; zero means 25ms. Negative means no waiting.
 	QueueWait time.Duration
+	// WarmHubs, when positive, preloads the prime PPVs of the K hottest hubs
+	// (by out-degree, the cheap popularity proxy available in every mode)
+	// through the index's block cache at startup, so a freshly started
+	// disk-serving shard does not answer its first requests at cold-read
+	// latency. It is a no-op for in-memory indexes and cache-less stores.
+	WarmHubs int
 }
 
 func (c Config) withDefaults() Config {
@@ -109,11 +133,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wraps a precomputed engine with the serving layers. Create one with
-// New and mount Handler on an http.Server.
+// Server wraps a precomputed engine (or a cluster router) with the serving
+// layers. Create one with New or NewRouter and mount Handler on an
+// http.Server.
 type Server struct {
 	cfg     Config
-	engine  *core.Engine
+	engine  *core.Engine    // nil in router mode
+	router  *cluster.Router // nil in engine mode
 	cache   *Cache
 	flights *flightGroup
 	adm     *admission
@@ -121,16 +147,51 @@ type Server struct {
 	// mu guards the engine: queries hold the read lock, ApplyUpdate holds the
 	// write lock (it swaps the graph and rewrites index entries in place).
 	// Cache fills happen under the read lock too, so an update's invalidation
-	// sweep can never race with a stale fill.
+	// sweep can never race with a stale fill. Unused in router mode (the
+	// router has no local mutable state).
 	mu sync.RWMutex
 
 	hists   map[string]*Histogram
 	started time.Time
 	updates atomic.Int64
+	warmed  WarmStats
 	// inconsistent is set when an ApplyUpdate fails after the point of no
 	// return: the engine may mix old and new state, so health checks flip to
 	// failing until an operator intervenes (restart or full Precompute).
 	inconsistent atomic.Bool
+}
+
+// WarmStats reports the startup block-cache warming pass.
+type WarmStats struct {
+	// Requested is the number of hubs warming was asked to preload
+	// (Config.WarmHubs clamped to the hubs this index actually holds).
+	Requested int `json:"requested"`
+	// Warmed is how many hub blocks actually landed in the block cache; it is
+	// zero when the index has no cache to warm (in-memory, or caching
+	// disabled).
+	Warmed     int     `json:"warmed"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+func newServer(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		flights: newFlightGroup(),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueWait),
+		hists: map[string]*Histogram{
+			"ppv":     {},
+			"batch":   {},
+			"update":  {},
+			"stats":   {},
+			"compact": {},
+			"partial": {},
+		},
+		started: time.Now(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = NewCache(cfg.CacheBytes, cfg.CacheShards)
+	}
+	return s
 }
 
 // New creates a Server over engine, which must already be precomputed.
@@ -141,25 +202,55 @@ func New(engine *core.Engine, cfg Config) (*Server, error) {
 	if !engine.Precomputed() {
 		return nil, errors.New("server: engine not precomputed")
 	}
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		engine:  engine,
-		flights: newFlightGroup(),
-		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueWait),
-		hists: map[string]*Histogram{
-			"ppv":     {},
-			"batch":   {},
-			"update":  {},
-			"stats":   {},
-			"compact": {},
-		},
-		started: time.Now(),
-	}
-	if cfg.CacheBytes > 0 {
-		s.cache = NewCache(cfg.CacheBytes, cfg.CacheShards)
-	}
+	s := newServer(cfg.withDefaults())
+	s.engine = engine
+	s.warm()
 	return s, nil
+}
+
+// NewRouter creates a Server that answers queries by scatter-gathering them
+// across the shards behind rt, reusing the same result cache, coalescing and
+// admission layers as the single-node server. Update, compaction and partial
+// endpoints answer with the structured "unsupported" error in this mode.
+func NewRouter(rt *cluster.Router, cfg Config) (*Server, error) {
+	if rt == nil {
+		return nil, errors.New("server: nil router")
+	}
+	s := newServer(cfg.withDefaults())
+	s.router = rt
+	return s, nil
+}
+
+// hubWarmer is implemented by index stores that can preload hub blocks into
+// a cache (fastppv's disk store).
+type hubWarmer interface {
+	WarmHubs(hubs []graph.NodeID) int
+}
+
+// warm preloads the Config.WarmHubs hottest hubs — hottest by out-degree,
+// ties broken by id for determinism — through the index's block cache.
+func (s *Server) warm() {
+	if s.cfg.WarmHubs <= 0 {
+		return
+	}
+	start := time.Now()
+	g := s.engine.Graph()
+	hubs := append([]graph.NodeID(nil), s.engine.Index().Hubs()...)
+	sort.Slice(hubs, func(i, j int) bool {
+		di, dj := g.OutDegree(hubs[i]), g.OutDegree(hubs[j])
+		if di != dj {
+			return di > dj
+		}
+		return hubs[i] < hubs[j]
+	})
+	if len(hubs) > s.cfg.WarmHubs {
+		hubs = hubs[:s.cfg.WarmHubs]
+	}
+	s.warmed.Requested = len(hubs)
+	if w, ok := s.engine.Index().(hubWarmer); ok {
+		s.warmed.Warmed = w.WarmHubs(hubs)
+	}
+	s.warmed.DurationMS = float64(time.Since(start)) / 1e6
 }
 
 // Handler returns the HTTP handler exposing the API.
@@ -167,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/ppv", s.instrument("ppv", s.handlePPV))
 	mux.HandleFunc("POST /v1/ppv/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/partial", s.instrument("partial", s.handlePartial))
 	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("POST /v1/compact", s.instrument("compact", s.handleCompact))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
@@ -195,12 +287,18 @@ type ScoredNode struct {
 // of (node, eta, target error, top, graph state); serving metadata lives in
 // response headers instead.
 type QueryResponse struct {
-	Node         int          `json:"node"`
-	RequestedEta int          `json:"requested_eta"`
-	Iterations   int          `json:"iterations"`
-	Degraded     bool         `json:"degraded,omitempty"`
-	L1ErrorBound float64      `json:"l1_error_bound"`
-	Results      []ScoredNode `json:"results"`
+	Node         int  `json:"node"`
+	RequestedEta int  `json:"requested_eta"`
+	Iterations   int  `json:"iterations"`
+	Degraded     bool `json:"degraded,omitempty"`
+	// ShardsDown and LostErrorMass are set by a cluster router when shards
+	// were unavailable during this query: the answer is still correct, its
+	// L1 error bound is just wider by (up to) the lost mass. Degraded answers
+	// are never cached, so cacheable bodies stay deterministic.
+	ShardsDown    int          `json:"shards_down,omitempty"`
+	LostErrorMass float64      `json:"lost_error_mass,omitempty"`
+	L1ErrorBound  float64      `json:"l1_error_bound"`
+	Results       []ScoredNode `json:"results"`
 }
 
 // queryRequest is one parsed and clamped query.
@@ -213,13 +311,18 @@ type queryRequest struct {
 
 type httpError struct {
 	status int
+	code   string
 	msg    string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...interface{}) error {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func unsupported(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusNotImplemented, code: api.CodeUnsupported, msg: fmt.Sprintf(format, args...)}
 }
 
 func (s *Server) parseQuery(q map[string]string) (queryRequest, error) {
@@ -264,13 +367,25 @@ func (s *Server) parseQuery(q map[string]string) (queryRequest, error) {
 		}
 	}
 
-	s.mu.RLock()
-	n := s.engine.Graph().NumNodes()
-	s.mu.RUnlock()
-	if req.node < 0 || int(req.node) >= n {
+	n := s.numNodes()
+	// n == 0 means a router that has not discovered its graph size yet; the
+	// query is then validated by the shards instead of up front.
+	if req.node < 0 || (n > 0 && int(req.node) >= n) {
 		return req, badRequest("node %d outside [0,%d)", req.node, n)
 	}
 	return req, nil
+}
+
+// numNodes returns the size of the served graph: the engine's graph locally,
+// the discovered shard graph size in router mode (0 until a shard has been
+// reachable).
+func (s *Server) numNodes() int {
+	if s.engine != nil {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.engine.Graph().NumNodes()
+	}
+	return s.router.NumNodes()
 }
 
 // cacheState describes how a request was answered, reported in the
@@ -309,16 +424,17 @@ func (s *Server) answer(req queryRequest) (*cachedAnswer, cacheState, error) {
 	return ans, state, nil
 }
 
-// compute runs one engine query under admission control. Requests that cannot
-// get a full-service slot are degraded to DegradedEta iterations (degraded
-// answers are returned but never cached); when even the degraded pool is full
-// the request is shed with 503. The flight is unregistered while the engine
-// read lock is still held, so a request arriving after a graph update can
-// never join a pre-update computation.
+// compute runs one query under admission control. Requests that cannot get a
+// full-service slot are degraded to DegradedEta iterations (degraded answers
+// are returned but never cached); when even the degraded pool is full the
+// request is shed with 503. In engine mode the flight is unregistered while
+// the engine read lock is still held, so a request arriving after a graph
+// update can never join a pre-update computation.
 func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error) {
 	level := s.adm.acquire()
 	if level == svcShed {
-		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "overloaded: admission and degradation pools are full"}
+		return nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeOverloaded,
+			msg: "overloaded: admission and degradation pools are full"}
 	}
 	defer s.adm.release(level)
 	eta := key.Eta
@@ -327,6 +443,41 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 		eta = s.cfg.DegradedEta
 		degraded = true
 	}
+	stop := core.StopCondition{MaxIterations: eta, TargetL1Error: key.TargetError}
+
+	if s.router != nil {
+		cres, err := s.router.Query(key.Node, stop)
+		if err != nil {
+			// A shard answering bad_request (e.g. an out-of-range node the
+			// router could not pre-validate before graph-size discovery) is a
+			// client mistake, not an outage; everything else means no shard
+			// could answer.
+			var aerr *api.Error
+			if errors.As(err, &aerr) && aerr.Code == api.CodeBadRequest {
+				return nil, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: aerr.Message}
+			}
+			return nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeUnavailable, msg: err.Error()}
+		}
+		ans := &cachedAnswer{
+			result: &core.Result{
+				Query:        cres.Query,
+				Estimate:     cres.Estimate,
+				Iterations:   cres.Iterations,
+				L1ErrorBound: cres.L1ErrorBound,
+				Duration:     cres.Duration,
+			},
+			degraded:   degraded || cres.Degraded,
+			shardsDown: cres.ShardsDown,
+			lostMass:   cres.LostFrontierMass,
+		}
+		// Cluster-degraded answers carry a bound widened by lost shards; they
+		// must not outlive the outage in the cache.
+		if s.cache != nil && !ans.degraded {
+			s.cache.Put(key, ans)
+		}
+		unregister()
+		return ans, nil
+	}
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -334,7 +485,7 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 	if err != nil {
 		return nil, err
 	}
-	res := qs.Run(core.StopCondition{MaxIterations: eta, TargetL1Error: key.TargetError})
+	res := qs.Run(stop)
 	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
 	if s.cache != nil && !degraded {
 		s.cache.Put(key, ans)
@@ -343,19 +494,28 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 	return ans, nil
 }
 
-// render builds the deterministic response body from an answer.
+// render builds the deterministic response body from an answer. Node labels
+// are only available in engine mode; a router answers with bare node ids.
 func (s *Server) render(req queryRequest, ans *cachedAnswer) QueryResponse {
-	s.mu.RLock()
-	g := s.engine.Graph()
 	top := ans.result.TopK(req.top)
 	resp := QueryResponse{
-		Node:         int(req.node),
-		RequestedEta: req.eta,
-		Iterations:   ans.result.Iterations,
-		Degraded:     ans.degraded,
-		L1ErrorBound: ans.result.L1ErrorBound,
-		Results:      make([]ScoredNode, 0, len(top)),
+		Node:          int(req.node),
+		RequestedEta:  req.eta,
+		Iterations:    ans.result.Iterations,
+		Degraded:      ans.degraded,
+		ShardsDown:    ans.shardsDown,
+		LostErrorMass: ans.lostMass,
+		L1ErrorBound:  ans.result.L1ErrorBound,
+		Results:       make([]ScoredNode, 0, len(top)),
 	}
+	if s.engine == nil {
+		for _, e := range top {
+			resp.Results = append(resp.Results, ScoredNode{Node: int(e.Node), Score: e.Score})
+		}
+		return resp
+	}
+	s.mu.RLock()
+	g := s.engine.Graph()
 	hasLabels := g.HasLabels()
 	for _, e := range top {
 		sn := ScoredNode{Node: int(e.Node), Score: e.Score}
@@ -455,6 +615,88 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handlePartial serves the shard side of the cluster protocol: one
+// iteration-0 root or one frontier expansion restricted to the hubs this
+// shard owns (internal/api.PartialRequest). It runs under the same admission
+// gate as full queries — a partial is bounded work (a single iteration), so
+// a degraded-level slot still computes it fully — and under the engine read
+// lock, so graph updates never interleave with a sub-query.
+//
+// A transient index failure (the descriptor closing under a restart or
+// compaction swap) answers 503 with the structured "retry" code; the router
+// retries once before declaring the shard down.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, unsupported("/v1/partial is served by shards, not by the router"))
+		return
+	}
+	var preq api.PartialRequest
+	if err := json.NewDecoder(r.Body).Decode(&preq); err != nil {
+		writeError(w, badRequest("bad partial body: %v", err))
+		return
+	}
+	if (preq.Query == nil) == (preq.Frontier == nil) {
+		writeError(w, badRequest("exactly one of query and frontier must be set"))
+		return
+	}
+	level := s.adm.acquire()
+	if level == svcShed {
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, code: api.CodeOverloaded,
+			msg: "overloaded: admission and degradation pools are full"})
+		return
+	}
+	defer s.adm.release(level)
+
+	start := time.Now()
+	s.mu.RLock()
+	var (
+		part *core.PartialIncrement
+		err  error
+	)
+	if preq.Query != nil {
+		q := *preq.Query
+		if q < 0 || int(q) >= s.engine.Graph().NumNodes() {
+			s.mu.RUnlock()
+			writeError(w, badRequest("node %d outside [0,%d)", q, s.engine.Graph().NumNodes()))
+			return
+		}
+		part, err = s.engine.PartialRoot(q)
+	} else {
+		var frontier map[graph.NodeID]float64
+		if frontier, err = preq.Frontier.DecodeMap(); err != nil {
+			s.mu.RUnlock()
+			writeError(w, badRequest("bad frontier: %v", err))
+			return
+		}
+		part, err = s.engine.PartialExpand(frontier)
+	}
+	p := s.engine.Partition()
+	s.mu.RUnlock()
+	if err != nil {
+		if errors.Is(err, ppvindex.ErrIndexClosed) {
+			writeError(w, &httpError{status: http.StatusServiceUnavailable, code: api.CodeRetry, msg: err.Error()})
+			return
+		}
+		writeError(w, fmt.Errorf("partial query failed: %w", err))
+		return
+	}
+	shards := p.Shards
+	if shards < 2 {
+		shards = 1
+	}
+	writeJSON(w, http.StatusOK, api.PartialResponse{
+		Shard:        p.Shard,
+		Shards:       shards,
+		Increment:    api.EncodeVector(part.Increment),
+		Frontier:     api.EncodeMap(part.Frontier),
+		HubsExpanded: part.HubsExpanded,
+		HubsSkipped:  part.HubsSkipped,
+		Unowned:      part.Unowned,
+		FromIndex:    part.FromIndex,
+		ComputeMS:    float64(time.Since(start)) / 1e6,
+	})
+}
+
 // UpdateRequest is the body of POST /v1/update: batches of edges to add and
 // remove, each edge a [from, to] pair. Pairs are decoded as slices so that a
 // wrong-length entry is rejected instead of being zero-filled.
@@ -491,6 +733,10 @@ type UpdateResponse struct {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, unsupported("graph updates are applied per shard, not through the router"))
+		return
+	}
 	var ureq UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&ureq); err != nil {
 		writeError(w, badRequest("bad update body: %v", err))
@@ -606,10 +852,15 @@ type compactor interface {
 // It does not take the engine lock: compaction serves reads throughout and
 // only incremental updates wait (on the store's own mutex).
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, unsupported("compaction runs per shard, not through the router"))
+		return
+	}
 	c, ok := s.engine.Index().(compactor)
 	if !ok {
 		writeError(w, &httpError{
 			status: http.StatusPreconditionFailed,
+			code:   api.CodeUnsupported,
 			msg:    "index is not disk-backed; nothing to compact",
 		})
 		return
@@ -617,7 +868,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	res, err := c.Compact()
 	if err != nil {
 		if errors.Is(err, ppvindex.ErrCompactionInProgress) || errors.Is(err, ppvindex.ErrUpdateInFlight) {
-			writeError(w, &httpError{status: http.StatusConflict, msg: err.Error()})
+			writeError(w, &httpError{status: http.StatusConflict, code: api.CodeConflict, msg: err.Error()})
 			return
 		}
 		writeError(w, fmt.Errorf("compaction failed: %w", err))
@@ -645,9 +896,18 @@ type OfflineInfo struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds  float64                      `json:"uptime_seconds"`
-	Graph          GraphInfo                    `json:"graph"`
-	Offline        OfflineInfo                  `json:"offline"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Graph         GraphInfo   `json:"graph"`
+	Offline       OfflineInfo `json:"offline"`
+	// Shard is the hub partition this server owns ("1/4"), present only on
+	// sharded engines.
+	Shard string `json:"shard,omitempty"`
+	// Cluster is the router's per-shard health and latency view, present only
+	// in router mode.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Warming reports the startup block-cache warming pass (engine mode with
+	// Config.WarmHubs set).
+	Warming        *WarmStats                   `json:"warming,omitempty"`
 	Cache          *CacheStats                  `json:"cache,omitempty"`
 	BlockCache     *ppvindex.BlockCacheStats    `json:"block_cache,omitempty"`
 	Durability     *ppvindex.DurabilityStats    `json:"durability,omitempty"`
@@ -672,41 +932,52 @@ type durabilityStatser interface {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	g := s.engine.Graph()
-	off := s.engine.OfflineStats()
-	info := GraphInfo{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.Directed()}
-	s.mu.RUnlock()
-
 	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Graph:         info,
-		Offline: OfflineInfo{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Admission:      s.adm.stats(),
+		Coalesced:      s.flights.Coalesced(),
+		UpdatesApplied: s.updates.Load(),
+		Endpoints:      make(map[string]HistogramSnapshot, len(s.hists)),
+	}
+	if s.router != nil {
+		cst := s.router.Stats()
+		resp.Cluster = &cst
+		resp.Graph = GraphInfo{Nodes: cst.Nodes}
+	} else {
+		s.mu.RLock()
+		g := s.engine.Graph()
+		off := s.engine.OfflineStats()
+		resp.Graph = GraphInfo{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.Directed()}
+		s.mu.RUnlock()
+		resp.Offline = OfflineInfo{
 			Hubs:           off.Hubs,
 			HubSelectionMS: float64(off.HubSelection) / 1e6,
 			PrimePPVMS:     float64(off.PrimePPV) / 1e6,
 			TotalMS:        float64(off.Total) / 1e6,
 			IndexBytes:     off.IndexBytes,
 			IndexEntries:   off.IndexEntries,
-		},
-		Admission:      s.adm.stats(),
-		Coalesced:      s.flights.Coalesced(),
-		UpdatesApplied: s.updates.Load(),
-		Endpoints:      make(map[string]HistogramSnapshot, len(s.hists)),
+		}
+		if p := s.engine.Partition(); p.Enabled() {
+			resp.Shard = p.String()
+		}
+		if s.cfg.WarmHubs > 0 {
+			warmed := s.warmed
+			resp.Warming = &warmed
+		}
+		if bcs, ok := s.engine.Index().(blockCacheStatser); ok {
+			if st, enabled := bcs.BlockCacheStats(); enabled {
+				resp.BlockCache = &st
+			}
+		}
+		if dss, ok := s.engine.Index().(durabilityStatser); ok {
+			if st, enabled := dss.DurabilityStats(); enabled {
+				resp.Durability = &st
+			}
+		}
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		resp.Cache = &st
-	}
-	if bcs, ok := s.engine.Index().(blockCacheStatser); ok {
-		if st, enabled := bcs.BlockCacheStats(); enabled {
-			resp.BlockCache = &st
-		}
-	}
-	if dss, ok := s.engine.Index().(durabilityStatser); ok {
-		if st, enabled := dss.DurabilityStats(); enabled {
-			resp.Durability = &st
-		}
 	}
 	for name, h := range s.hists {
 		resp.Endpoints[name] = h.Snapshot()
@@ -719,6 +990,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
 			"status": "inconsistent",
 			"reason": "a graph update failed mid-commit; restart or re-precompute",
+		})
+		return
+	}
+	if s.router != nil {
+		st := s.router.Stats()
+		if st.ShardsHealthy == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"status": "no_shards", "shards_healthy": 0, "shards": len(st.Shards),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status": "ok", "shards_healthy": st.ShardsHealthy, "shards": len(st.Shards),
 		})
 		return
 	}
@@ -735,11 +1019,19 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
+// writeError renders the structured error envelope: every failure carries a
+// machine-readable code, so the router and load tooling can distinguish
+// client mistakes, admission rejection, transient retry conditions and
+// unsupported endpoints without parsing messages.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := api.CodeInternal
 	var herr *httpError
 	if errors.As(err, &herr) {
 		status = herr.status
+		if herr.code != "" {
+			code = herr.code
+		}
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: err.Error()}})
 }
