@@ -18,8 +18,11 @@
 //
 // Incremental updates applied to a disk-served index are durable: each
 // update's recomputed hub PPVs are committed to an update log (-update-log,
-// default <index>.log) before the update returns, and a restart replays the
-// log. The log is folded back into the index by compaction — automatic past
+// default <index>.log) and the graph mutation itself to a graph-mutation log
+// (-graph-log, default <index>.graphlog) before the update returns, and a
+// restart replays both — the daemon serves the updated graph, PPVs and index
+// epoch even though -graph still names the original file. The update log is
+// folded back into the index by compaction — automatic past
 // -compact-threshold-bytes, or on demand via POST /v1/compact.
 //
 // Cluster mode splits the hub index horizontally across processes. A shard
@@ -32,6 +35,13 @@
 //	fastppvd -graph g.txt -shard 0/2 -addr :8081
 //	fastppvd -graph g.txt -shard 1/2 -addr :8082
 //	fastppvd -router localhost:8081,localhost:8082 -addr :8080
+//
+// Updates in cluster mode go through the router: POST /v1/update fans the
+// batch out to every shard in a deterministic order, each shard's index epoch
+// advances in lockstep, and a shard that misses a batch (down, failed, or
+// updated directly behind the router's back) is detected by its divergent
+// epoch at query time and folded into the reported error bound instead of
+// contributing answers from a different graph.
 //
 // On a disk-serving shard, -warm-hubs K preloads the K hottest hub blocks
 // (by out-degree) into the block cache at startup, so a cold shard does not
@@ -88,6 +98,7 @@ func run(args []string) error {
 	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
 	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
 	updateLog := fs.String("update-log", "", "update log for -index mode (empty = <index>.log, \"none\" disables durable updates)")
+	graphLog := fs.String("graph-log", "", "graph-mutation log for -index mode (empty = <index>.graphlog, \"none\" disables graph durability)")
 	compactThreshold := fs.Int64("compact-threshold-bytes", 0, "auto-compact the update log past this size (0 = 64 MiB default, negative = manual /v1/compact only)")
 	alpha := fs.Float64("alpha", fastppv.DefaultAlpha, "teleporting probability")
 	eta := fs.Int("eta", 2, "default online iterations per query")
@@ -155,6 +166,12 @@ func run(args []string) error {
 	default:
 		dio.UpdateLogPath = *updateLog
 	}
+	switch *graphLog {
+	case "none":
+		dio.DisableGraphLog = true
+	default:
+		dio.GraphLogPath = *graphLog
+	}
 	var engine *fastppv.Engine
 	if *indexPath != "" {
 		var closeIndex func() error
@@ -164,8 +181,9 @@ func run(args []string) error {
 		}
 		defer closeIndex()
 		off := engine.OfflineStats()
-		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s, update log %s)",
-			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes), updateLogDesc(*indexPath, dio))
+		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s, update log %s, epoch %d)",
+			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes),
+			updateLogDesc(*indexPath, dio), engine.Epoch())
 	} else {
 		engine, err = fastppv.New(g, opts)
 		if err != nil {

@@ -14,6 +14,13 @@
 // degraded cluster (a shard down) the widened bounds are visible immediately.
 // Failures are counted per structured error code (internal/api), separating
 // admission rejection from shard-down degradation and client mistakes.
+//
+// -update-every N mixes writes into the workload: every Nth request becomes a
+// POST /v1/update adding one random edge (sent to the first target — the
+// router in a cluster, which fans it out to the shards). Update latency is
+// reported with its own percentiles, and update failures appear in the
+// per-code breakdown, so epoch-divergence drills (a shard refusing a batch)
+// are visible immediately.
 package main
 
 import (
@@ -82,6 +89,7 @@ type outcome struct {
 	target    int
 	latency   time.Duration
 	state     string // X-Fastppv-Cache
+	isUpdate  bool
 	degraded  bool
 	bound     float64
 	errCode   string
@@ -97,6 +105,7 @@ func run(args []string) error {
 	zipfS := fs.Float64("zipf", workload.DefaultZipfS, "Zipf exponent of the query skew (>1)")
 	eta := fs.Int("eta", 2, "online iterations per query")
 	top := fs.Int("top", 10, "ranked results per query")
+	updateEvery := fs.Int("update-every", 0, "make every Nth request a one-edge graph update posted to the first target (0 disables)")
 	seed := fs.Int64("seed", 1, "workload seed")
 	fs.Parse(args)
 	if *requests < 1 || *concurrency < 1 {
@@ -160,6 +169,38 @@ func run(args []string) error {
 				if i < 0 {
 					return
 				}
+				if *updateEvery > 0 && (i+1)%*updateEvery == 0 {
+					// Updates go to the first target: the router in a cluster
+					// drill, so the batch fans out to every shard.
+					from, to := int(sampler.Next()), int(sampler.Next())
+					if from == to {
+						to = (to + 1) % numNodes
+					}
+					body := fmt.Sprintf(`{"added_edges":[[%d,%d]]}`, from, to)
+					t0 := time.Now()
+					resp, err := client.Post(targets[0]+"/v1/update", "application/json", strings.NewReader(body))
+					o := outcome{target: 0, isUpdate: true}
+					if err != nil {
+						o.err, o.errCode = err, "transport"
+						outcomes[i] = o
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						var eresp api.ErrorResponse
+						decErr := json.NewDecoder(resp.Body).Decode(&eresp)
+						o.err = fmt.Errorf("status %d", resp.StatusCode)
+						if decErr == nil && eresp.Error.Code != "" {
+							o.errCode = eresp.Error.Code
+						} else {
+							o.errCode = fmt.Sprintf("http_%d", resp.StatusCode)
+						}
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					o.latency = time.Since(t0)
+					outcomes[i] = o
+					continue
+				}
 				tgt := i % len(targets)
 				node := sampler.Next()
 				url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=%d&top=%d", targets[tgt], node, *eta, *top)
@@ -210,18 +251,25 @@ func run(args []string) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var latencies []time.Duration
+	var latencies, updLatencies []time.Duration
 	var bounds []float64
 	perTarget := make([][]time.Duration, len(targets))
 	states := map[string]int{}
 	errCodes := map[string]int{}
-	failures, degraded, shardsDownMax := 0, 0, 0
+	failures, updFailures, degraded, shardsDownMax := 0, 0, 0, 0
 	for _, o := range outcomes {
 		if o.err != nil {
 			failures++
+			if o.isUpdate {
+				updFailures++
+			}
 			if o.errCode != "" {
 				errCodes[o.errCode]++
 			}
+			continue
+		}
+		if o.isUpdate {
+			updLatencies = append(updLatencies, o.latency)
 			continue
 		}
 		latencies = append(latencies, o.latency)
@@ -235,13 +283,13 @@ func run(args []string) error {
 			shardsDownMax = o.shardsOff
 		}
 	}
-	if len(latencies) == 0 {
+	if len(latencies) == 0 && len(updLatencies) == 0 {
 		return fmt.Errorf("all %d requests failed (%v)", *requests, errCodes)
 	}
 
 	fmt.Printf("sent %d requests in %v: %.1f req/s (%d failed)\n",
 		*requests, elapsed.Round(time.Millisecond),
-		float64(len(latencies))/elapsed.Seconds(), failures)
+		float64(len(latencies)+len(updLatencies))/elapsed.Seconds(), failures)
 	if len(errCodes) > 0 {
 		codes := make([]string, 0, len(errCodes))
 		for c := range errCodes {
@@ -254,7 +302,17 @@ func run(args []string) error {
 		}
 		fmt.Printf("failures by code: %s\n", strings.Join(parts, " "))
 	}
-	fmt.Printf("latency: %s\n", latencyLine(latencies))
+	if len(latencies) > 0 {
+		fmt.Printf("latency: %s\n", latencyLine(latencies))
+	}
+	if len(updLatencies) > 0 || updFailures > 0 {
+		if len(updLatencies) > 0 {
+			fmt.Printf("update latency: %s (%d applied, %d failed)\n",
+				latencyLine(updLatencies), len(updLatencies), updFailures)
+		} else {
+			fmt.Printf("updates: all %d failed\n", updFailures)
+		}
+	}
 	if len(targets) > 1 {
 		for i, tgt := range targets {
 			if len(perTarget[i]) == 0 {
@@ -264,12 +322,14 @@ func run(args []string) error {
 			fmt.Printf("  target %s: %s (%d ok)\n", tgt, latencyLine(perTarget[i]), len(perTarget[i]))
 		}
 	}
-	sort.Float64s(bounds)
-	fpct := func(q float64) float64 { return bounds[int(q*float64(len(bounds)-1))] }
-	fmt.Printf("error bound: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
-		fpct(0.50), fpct(0.90), fpct(0.99), bounds[len(bounds)-1])
-	fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
-		states["hit"], states["miss"], states["coalesced"], degraded, shardsDownMax)
+	if len(bounds) > 0 {
+		sort.Float64s(bounds)
+		fpct := func(q float64) float64 { return bounds[int(q*float64(len(bounds)-1))] }
+		fmt.Printf("error bound: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+			fpct(0.50), fpct(0.90), fpct(0.99), bounds[len(bounds)-1])
+		fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
+			states["hit"], states["miss"], states["coalesced"], degraded, shardsDownMax)
+	}
 
 	for i, tgt := range targets {
 		if err := reportTarget(tgt, before[i], len(targets) > 1); err != nil {

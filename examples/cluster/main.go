@@ -1,9 +1,11 @@
 // Example cluster runs a two-shard FastPPV cluster in-process: each shard
 // precomputes and serves one hash partition of the hub index, a router
 // scatter-gathers queries across them, and a single-node engine provides the
-// reference answer. It then stops one shard to show the accuracy-aware
-// degradation: queries keep succeeding, with the same estimate semantics and
-// a correctly widened L1 error bound.
+// reference answer. It then fans a graph update out through the router —
+// every shard advances to the same index epoch and routed answers track a
+// single-node engine given the same update — and finally stops one shard to
+// show the accuracy-aware degradation: queries keep succeeding, with the same
+// estimate semantics and a correctly widened L1 error bound.
 //
 // Run with:
 //
@@ -17,6 +19,7 @@ import (
 	"net/http"
 
 	"fastppv"
+	"fastppv/internal/api"
 	"fastppv/internal/cluster"
 	"fastppv/internal/core"
 	"fastppv/internal/gen"
@@ -93,6 +96,31 @@ func main() {
 	for i := range wt {
 		fmt.Printf("    #%d single=%d cluster=%d score=%.6f\n", i+1, wt[i].Node, gt[i].Node, gt[i].Score)
 	}
+
+	// Fan a graph update out through the router: both shards apply the batch
+	// in the same order and advance to the same index epoch, so routed
+	// answers keep matching a single-node engine that applied the same
+	// update.
+	const uFrom, uTo = 42, 1777
+	cu, err := rt.Update(api.UpdateRequest{AddedEdges: [][]int{{uFrom, uTo}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nupdate fan-out (+edge %d->%d): epoch=%d applied=%d/%d degraded=%v\n",
+		uFrom, uTo, cu.Epoch, cu.Applied, len(cu.Results), cu.Degraded())
+	if _, err := single.ApplyUpdate(fastppv.GraphUpdate{AddedEdges: []fastppv.Edge{{From: uFrom, To: uTo}}}); err != nil {
+		log.Fatal(err)
+	}
+	want, err = single.Query(q, fastppv.StopCondition{MaxIterations: eta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err = rt.Query(q, core.StopCondition{MaxIterations: eta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  post-update: single bound=%.6f cluster bound=%.6f (epoch %d, degraded=%v)\n",
+		want.L1ErrorBound, got.L1ErrorBound, got.Epoch, got.Degraded)
 
 	// Kill shard 1 (connections included): the router keeps answering, with
 	// the unexpandable frontier mass reflected in a wider (still exact)

@@ -188,6 +188,15 @@ type DiskIndexOptions struct {
 	// log grows past it; 0 means DefaultCompactThresholdBytes, negative
 	// disables automatic compaction (manual Compact still works).
 	CompactThresholdBytes int64
+	// GraphLogPath overrides where committed graph updates themselves are
+	// logged; empty means <index path>.graphlog. Replayed on open, so the
+	// served graph (and the index epoch) survive a restart instead of
+	// reverting to the graph file the daemon was started with.
+	GraphLogPath string
+	// DisableGraphLog turns graph-mutation logging off: after a restart the
+	// engine serves the original graph again while the index still replays
+	// the updated hub PPVs (the pre-graph-log behaviour).
+	DisableGraphLog bool
 }
 
 // storeConfig resolves the public knobs into the internal store config.
@@ -201,6 +210,12 @@ func (o DiskIndexOptions) storeConfig(indexPath string) diskStoreConfig {
 		cfg.compactThreshold = o.CompactThresholdBytes
 		if cfg.compactThreshold == 0 {
 			cfg.compactThreshold = DefaultCompactThresholdBytes
+		}
+	}
+	if !o.DisableGraphLog {
+		cfg.graphLogPath = o.GraphLogPath
+		if cfg.graphLogPath == "" {
+			cfg.graphLogPath = indexPath + ".graphlog"
 		}
 	}
 	return cfg
@@ -264,13 +279,45 @@ func OpenDiskIndex(g *Graph, opts Options, path string, blockCacheBytes int64) (
 }
 
 // OpenDiskIndexWithOptions is OpenDiskIndex with explicit control over the
-// update log and compaction behaviour.
+// update log, graph-mutation log and compaction behaviour.
+//
+// When the graph log is enabled (the default), the batches it holds are
+// replayed onto g before the engine is created, and the engine's index epoch
+// starts at the replayed batch count: a restarted daemon serves the same
+// graph, the same PPVs and the same epoch as the process that applied the
+// updates live, instead of reverting non-hub answers to the original graph
+// file.
 func OpenDiskIndexWithOptions(g *Graph, opts Options, path string, dio DiskIndexOptions) (*Engine, func() error, error) {
-	store, err := openDiskStore(path, dio.storeConfig(path))
+	cfg := dio.storeConfig(path)
+	served := g
+	if cfg.graphLogPath != "" {
+		bind := ppvindex.GraphLogBinding{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.Directed()}
+		glog, err := ppvindex.OpenGraphLog(cfg.graphLogPath, bind, func(m ppvindex.GraphMutation) error {
+			next, err := core.ReplayGraphUpdate(served, core.GraphUpdate{
+				AddedEdges:   m.AddedEdges,
+				RemovedEdges: m.RemovedEdges,
+				NumNodes:     m.NumNodes,
+			})
+			if err != nil {
+				return fmt.Errorf("fastppv: replaying the graph-mutation log: %w", err)
+			}
+			served = next
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.graphLog = glog
+		opts.InitialEpoch = uint64(glog.Records())
+	}
+	store, err := openDiskStore(path, cfg)
 	if err != nil {
+		if cfg.graphLog != nil {
+			cfg.graphLog.Close()
+		}
 		return nil, nil, err
 	}
-	engine, err := core.NewServingEngine(g, store, opts)
+	engine, err := core.NewServingEngine(served, store, opts)
 	if err != nil {
 		store.Close()
 		return nil, nil, err
@@ -311,6 +358,15 @@ type diskStoreConfig struct {
 	// compactThreshold triggers a background compaction once the update log
 	// grows past it; <=0 disables automatic compaction.
 	compactThreshold int64
+	// graphLogPath is where committed graph updates are persisted; empty
+	// disables the graph-mutation log. In write mode (a fresh precompute) it
+	// is only used for stale-file cleanup when the new base is published.
+	graphLogPath string
+	// graphLog is the already opened and replayed graph-mutation log handed
+	// over by OpenDiskIndexWithOptions (opening it needs the graph, which the
+	// store never sees); the store takes ownership and appends/commits/closes
+	// it.
+	graphLog *ppvindex.GraphLog
 }
 
 // diskStore adapts the disk index writer/reader pair to the engine's
@@ -343,7 +399,11 @@ type diskStore struct {
 	writer *ppvindex.DiskWriter
 	reader *ppvindex.DiskIndex
 	log    *ppvindex.UpdateLog
-	closed bool
+	// graphLog persists the graph-update batches themselves (opened and
+	// replayed by OpenDiskIndexWithOptions, which owns the graph); nil when
+	// graph logging is disabled or the store was created in write mode.
+	graphLog *ppvindex.GraphLog
+	closed   bool
 	// logWedged flips when a compaction renamed the rewritten base into
 	// place but failed before re-binding the log to it: frames appended from
 	// then on would be bound to the replaced base and silently discarded on
@@ -355,9 +415,12 @@ type diskStore struct {
 	compactions atomic.Int64
 	// logBytes/logRecords mirror the log counters so DurabilityStats can
 	// report them without taking mu (which compaction holds for its whole
-	// rewrite). Updated under mu, read atomically.
-	logBytes   atomic.Int64
-	logRecords atomic.Int64
+	// rewrite). Updated under mu, read atomically. graphLogBytes/-Records do
+	// the same for the graph-mutation log.
+	logBytes        atomic.Int64
+	logRecords      atomic.Int64
+	graphLogBytes   atomic.Int64
+	graphLogRecords atomic.Int64
 }
 
 // diskReadState is one immutable read-side view of a finalized store. The
@@ -403,6 +466,11 @@ func openDiskStore(path string, cfg diskStoreConfig) (*diskStore, error) {
 		return nil, err
 	}
 	s := &diskStore{path: path, cfg: cfg}
+	if cfg.graphLog != nil {
+		s.graphLog = cfg.graphLog
+		s.graphLogBytes.Store(s.graphLog.SizeBytes())
+		s.graphLogRecords.Store(s.graphLog.Records())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ensureReaderLocked(); err != nil {
@@ -446,6 +514,33 @@ func (s *diskStore) Put(h NodeID, ppv Vector) error {
 	return nil
 }
 
+// AppendGraphUpdate implements core.GraphUpdateLogger: the committed batch's
+// graph mutation is staged into the graph-mutation log alongside the PPV
+// rewrites already staged by Put, and CommitUpdates below makes both durable.
+// Without a graph log (disabled, or a store still being precomputed) it is a
+// no-op — the update then only survives restarts in its PPV half.
+func (s *diskStore) AppendGraphUpdate(upd core.GraphUpdate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.graphLog == nil {
+		return nil
+	}
+	m := ppvindex.GraphMutation{
+		AddedEdges:   upd.AddedEdges,
+		RemovedEdges: upd.RemovedEdges,
+		NumNodes:     upd.NumNodes,
+	}
+	if err := s.graphLog.Append(m); err != nil {
+		return fmt.Errorf("fastppv: appending to the graph-mutation log: %w", err)
+	}
+	s.graphLogBytes.Store(s.graphLog.SizeBytes())
+	s.graphLogRecords.Store(s.graphLog.Records())
+	return nil
+}
+
 // CommitUpdates implements core.UpdateCommitter: it makes the batch of Puts
 // staged by one incremental update durable with a single fsync, and kicks off
 // a background compaction when the log has outgrown its threshold.
@@ -462,6 +557,17 @@ func (s *diskStore) CommitUpdates() error {
 			return fmt.Errorf("fastppv: committing the update log: %w", err)
 		}
 		trigger = s.cfg.compactThreshold > 0 && s.log.SizeBytes() >= s.cfg.compactThreshold
+	}
+	// The PPV half commits first: a crash between the two fsyncs then leaves
+	// a replica whose graph (and epoch) are one batch behind its hub PPVs —
+	// it reports the older epoch and a router folds it out. The opposite
+	// order would let a replica claim the new epoch while serving the old
+	// PPVs, which no epoch check could catch.
+	if s.graphLog != nil {
+		if err := s.graphLog.Commit(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("fastppv: committing the graph-mutation log: %w", err)
+		}
 	}
 	s.mu.Unlock()
 	if trigger && !s.compacting.Load() {
@@ -566,13 +672,18 @@ func (s *diskStore) DurabilityStats() (DurabilityStats, bool) {
 		return DurabilityStats{}, false
 	}
 	ds := DurabilityStats{
-		LogEnabled:  s.cfg.logPath != "",
-		OverlayHubs: st.overlay.Len(),
-		Compactions: s.compactions.Load(),
+		LogEnabled:      s.cfg.logPath != "",
+		GraphLogEnabled: s.graphLog != nil,
+		OverlayHubs:     st.overlay.Len(),
+		Compactions:     s.compactions.Load(),
 	}
 	if ds.LogEnabled {
 		ds.LogBytes = s.logBytes.Load()
 		ds.LogRecords = s.logRecords.Load()
+	}
+	if ds.GraphLogEnabled {
+		ds.GraphLogBytes = s.graphLogBytes.Load()
+		ds.GraphLogRecords = s.graphLogRecords.Load()
 	}
 	return ds, true
 }
@@ -614,6 +725,17 @@ func (s *diskStore) ensureReaderLocked() error {
 		return err
 	}
 	st := s.newReadState(r)
+	if freshBase && s.cfg.graphLogPath != "" {
+		// A fresh base means a fresh precompute over the caller's graph: a
+		// graph-mutation log from a previous index at this path would replay
+		// mutations the new PPVs were never computed against, so it must go.
+		// (Stores built in write mode never open a graph log themselves —
+		// OpenDiskIndexWithOptions does, on the reopen that starts serving.)
+		if err := os.Remove(s.cfg.graphLogPath); err != nil && !os.IsNotExist(err) {
+			r.Close()
+			return err
+		}
+	}
 	if s.cfg.logPath != "" {
 		if freshBase {
 			// The base was just rebuilt from scratch; a log from the previous
@@ -816,6 +938,14 @@ func (s *diskStore) closeLocked(discard bool) error {
 					err = rmErr
 				}
 			}
+			if err == nil && s.cfg.graphLogPath != "" {
+				// Same for the graph-mutation log: the freshly precomputed
+				// PPVs belong to the caller's graph, not to one with old
+				// mutations replayed on top.
+				if rmErr := os.Remove(s.cfg.graphLogPath); rmErr != nil && !os.IsNotExist(rmErr) {
+					err = rmErr
+				}
+			}
 		}
 		s.writer = nil
 		if err != nil && firstErr == nil {
@@ -833,6 +963,12 @@ func (s *diskStore) closeLocked(discard bool) error {
 			firstErr = err
 		}
 		s.log = nil
+	}
+	if s.graphLog != nil {
+		if err := s.graphLog.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.graphLog = nil
 	}
 	return firstErr
 }

@@ -797,6 +797,174 @@ func TestPublicAPIPrecomputeFailureLeavesNoIndexFile(t *testing.T) {
 	}
 }
 
+// nonHubNode returns a node of g that is not one of e's hubs.
+func nonHubNode(t testing.TB, e *Engine, from NodeID) NodeID {
+	t.Helper()
+	for n := from; int(n) < e.Graph().NumNodes(); n++ {
+		if !e.Hubs().Contains(n) {
+			return n
+		}
+	}
+	t.Fatal("no non-hub node found")
+	return 0
+}
+
+// TestPublicAPIGraphMutationDurability is the graph half of restart
+// durability: a daemon restart reloads the original -graph file, so without
+// the graph-mutation log every answer computed on the fly (non-hub queries in
+// particular) silently reverts even though the updated hub PPVs replay from
+// the update log. Reopening against the ORIGINAL graph must serve the
+// post-update answers, at the post-update epoch.
+func TestPublicAPIGraphMutationDurability(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 23)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Epoch(); got != 0 {
+		t.Fatalf("fresh index at epoch %d, want 0", got)
+	}
+	// An edge between two non-hub nodes: the graph changes in a way only the
+	// mutation log can preserve.
+	from := nonHubNode(t, engine, 200)
+	to := nonHubNode(t, engine, from+1)
+	if _, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: from, To: to}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Epoch(); got != 1 {
+		t.Fatalf("epoch after one update = %d, want 1", got)
+	}
+	// Iteration 0 of a non-hub query is its prime PPV computed on the fly —
+	// a pure function of the served graph, so it detects a reverted graph.
+	rootOnly := StopCondition{MaxIterations: 0}
+	after, err := engine.Query(from, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := durabilityOf(t, engine)
+	if !ds.GraphLogEnabled || ds.GraphLogRecords != 1 {
+		t.Fatalf("durability stats %+v, want one graph-log record", ds)
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path + ".graphlog"); err != nil || st.Size() == 0 {
+		t.Fatalf("graph-mutation log missing or empty after close: %v", err)
+	}
+
+	// "Restart": reopen against the ORIGINAL graph, as a restarted daemon
+	// does. The replayed mutation must reproduce the post-update answer.
+	engine2, closeIndex2, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex after restart: %v", err)
+	}
+	if got := engine2.Epoch(); got != 1 {
+		t.Errorf("epoch after replay = %d, want 1", got)
+	}
+	res2, err := engine2.Query(from, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res2.Estimate.L1Distance(after.Estimate); d > 1e-12 {
+		t.Errorf("post-restart PPV differs from pre-restart one by %v: the graph reverted", d)
+	}
+	if err := closeIndex2(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: with the graph log disabled the same reopen reverts to the
+	// original graph — proving the assertion above is load-bearing.
+	engine3, closeIndex3, err := OpenDiskIndexWithOptions(g, Options{NumHubs: 30}, path,
+		DiskIndexOptions{BlockCacheBytes: 8 << 20, DisableGraphLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeIndex3()
+	if got := engine3.Epoch(); got != 0 {
+		t.Errorf("epoch without graph log = %d, want 0", got)
+	}
+	res3, err := engine3.Query(from, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res3.Estimate.L1Distance(after.Estimate); d == 0 {
+		t.Error("reopen without the graph log still served the updated graph; the durability test proves nothing")
+	}
+}
+
+// TestPublicAPIGraphLogTornTailReplay mirrors the update-log torn-tail suite
+// at the public API: a crash mid-append of the second batch must replay
+// cleanly up to the first batch — graph and epoch from before the torn batch.
+func TestPublicAPIGraphLogTornTailReplay(t *testing.T) {
+	g := buildTestGraph(t, 300, 4, 29)
+	path := filepath.Join(t.TempDir(), "index.ppv")
+	buildDiskIndex(t, g, 30, path)
+
+	engine, closeIndex, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both batches rewire the same non-hub node's out-edges, so its
+	// iteration-0 PPV distinguishes every prefix of the batch sequence.
+	u := nonHubNode(t, engine, 150)
+	v1 := nonHubNode(t, engine, u+1)
+	v2 := nonHubNode(t, engine, v1+1)
+	rootOnly := StopCondition{MaxIterations: 0}
+	if _, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: u, To: v1}}}); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst, err := engine.Query(u, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.ApplyUpdate(GraphUpdate{AddedEdges: []Edge{{From: u, To: v2}}}); err != nil {
+		t.Fatal(err)
+	}
+	afterSecond, err := engine.Query(u, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterFirst.Estimate.L1Distance(afterSecond.Estimate) == 0 {
+		t.Fatal("the two batches are indistinguishable; the torn-tail test proves nothing")
+	}
+	if err := closeIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second batch's frame: chop a few bytes off the log tail.
+	logPath := path + ".graphlog"
+	st, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, st.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	engine2, closeIndex2, err := OpenDiskIndex(g, Options{NumHubs: 30}, path, 8<<20)
+	if err != nil {
+		t.Fatalf("OpenDiskIndex with a torn graph log: %v", err)
+	}
+	defer closeIndex2()
+	if got := engine2.Epoch(); got != 1 {
+		t.Errorf("epoch after torn-tail replay = %d, want 1 (the complete batch only)", got)
+	}
+	ds := durabilityOf(t, engine2)
+	if ds.GraphLogRecords != 1 {
+		t.Errorf("graph log reports %d records after truncation, want 1", ds.GraphLogRecords)
+	}
+	res, err := engine2.Query(u, rootOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Estimate.L1Distance(afterFirst.Estimate); d > 1e-12 {
+		t.Errorf("torn-tail replay differs from the first batch's state by %v", d)
+	}
+}
+
 // TestPublicAPIRebuildPreservesOrDiscardsLog: an aborted rebuild must leave
 // the old index and its durable updates (the log) fully intact, while a
 // completed rebuild must not let the old log replay onto the fresh index.

@@ -52,8 +52,15 @@ const (
 	// in-memory index).
 	CodeUnsupported = "unsupported"
 	// CodeConflict reports an operation already in progress (e.g. concurrent
-	// compactions).
+	// compactions) or a replica refusing writes on top of possibly corrupt
+	// state (an engine flagged inconsistent rejects further updates with it).
 	CodeConflict = "conflict"
+	// CodeEpochMismatch reports a conditional update whose if_epoch
+	// precondition failed: the target's index epoch is not the one the caller
+	// expected, so applying the batch would put the replica out of sequence
+	// with the rest of the cluster. The caller must re-read the current epoch
+	// (or let the router fold the divergent replica out of query answers).
+	CodeEpochMismatch = "epoch_mismatch"
 	// CodeUnavailable reports that the service cannot answer at all — a
 	// router with every shard down, or an engine flagged inconsistent.
 	CodeUnavailable = "unavailable"
@@ -155,6 +162,12 @@ type PartialResponse struct {
 	// router detect a misconfigured target list.
 	Shard  int `json:"shard"`
 	Shards int `json:"shards"`
+	// Epoch is the answering shard's index epoch: the number of graph-update
+	// batches folded into the state this partial was evaluated against. The
+	// router compares epochs across the shards of one query and folds an
+	// epoch-divergent shard's mass into the error bound instead of merging
+	// answers computed on different graphs.
+	Epoch uint64 `json:"epoch"`
 	// Increment is the partial PPV mass this sub-query contributed.
 	Increment Vector `json:"increment"`
 	// Frontier holds the hub entries of Increment: prefix weights for the
@@ -171,4 +184,67 @@ type PartialResponse struct {
 	FromIndex bool `json:"from_index,omitempty"`
 	// ComputeMS is the shard-side evaluation time in milliseconds.
 	ComputeMS float64 `json:"compute_ms"`
+}
+
+// UpdateRequest is the body of POST /v1/update: batches of edges to add and
+// remove, each edge a [from, to] pair. Pairs are decoded as slices so that a
+// wrong-length entry is rejected instead of being zero-filled. It lives here
+// because both sides of the cluster speak it: a client posts it to the router,
+// and the router fans the identical body out to every shard.
+type UpdateRequest struct {
+	AddedEdges   [][]int `json:"added_edges,omitempty"`
+	RemovedEdges [][]int `json:"removed_edges,omitempty"`
+	NumNodes     int     `json:"num_nodes,omitempty"`
+	// IfEpoch, when set, makes the update conditional: the target applies the
+	// batch only if its current index epoch equals IfEpoch, and answers
+	// CodeEpochMismatch otherwise. The router uses it on every fan-out leg so
+	// a shard that missed an earlier batch can never apply later batches out
+	// of sequence — it stays cleanly "behind" (and folded out of answers)
+	// instead of diverging unboundedly.
+	IfEpoch *uint64 `json:"if_epoch,omitempty"`
+}
+
+// UpdateResponse is the body answering an update applied to one engine.
+type UpdateResponse struct {
+	AffectedHubs   int     `json:"affected_hubs"`
+	UnaffectedHubs int     `json:"unaffected_hubs"`
+	Invalidated    int     `json:"invalidated"`
+	DurationMS     float64 `json:"duration_ms"`
+	// Epoch is the engine's index epoch after this update was applied.
+	Epoch uint64 `json:"epoch"`
+}
+
+// ShardUpdateResult reports the outcome of one leg of a cluster update
+// fan-out.
+type ShardUpdateResult struct {
+	Shard  int    `json:"shard"`
+	Target string `json:"target"`
+	// Applied reports whether this shard committed the batch; Epoch is its
+	// index epoch afterwards (or the stale epoch that disqualified it).
+	Applied bool   `json:"applied"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	// AffectedHubs counts the hubs the shard recomputed (owned hubs only).
+	AffectedHubs int `json:"affected_hubs,omitempty"`
+	// ErrorCode and Error describe the failure when Applied is false.
+	ErrorCode string `json:"error_code,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ClusterUpdateResponse is the body answering POST /v1/update on a router: the
+// per-shard fan-out outcomes and the resulting cluster epoch.
+type ClusterUpdateResponse struct {
+	// Epoch is the cluster index epoch after the fan-out: every shard that
+	// applied the batch now reports it.
+	Epoch uint64 `json:"epoch"`
+	// ShardsApplied and ShardsFailed partition the shard set; Degraded is set
+	// when at least one shard did not apply the batch — that shard now serves
+	// an older graph and the router folds its mass into query error bounds
+	// until it is restarted or rebuilt.
+	ShardsApplied int                 `json:"shards_applied"`
+	ShardsFailed  int                 `json:"shards_failed"`
+	Degraded      bool                `json:"degraded,omitempty"`
+	Shards        []ShardUpdateResult `json:"shards"`
+	// Invalidated counts router-cache entries dropped by this update.
+	Invalidated int     `json:"invalidated"`
+	DurationMS  float64 `json:"duration_ms"`
 }

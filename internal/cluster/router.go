@@ -63,6 +63,17 @@ type Router struct {
 	passive bool
 
 	numNodes atomic.Int64
+	// clusterEpoch is the highest index epoch the router has observed on any
+	// shard (from partial responses, update fan-outs and stats probes); -1
+	// until the first observation. It is the reference a query measures every
+	// shard against: a shard answering below it is serving an older graph and
+	// its mass is folded into the error bound instead of merged.
+	clusterEpoch atomic.Int64
+
+	// updateMu serializes update fan-outs: batches are applied cluster-wide
+	// in one deterministic order, so every shard sees the same sequence and
+	// equal epochs imply equal graphs.
+	updateMu sync.Mutex
 
 	stopHealth chan struct{}
 	healthWG   sync.WaitGroup
@@ -74,12 +85,26 @@ type shardClient struct {
 	index   int
 	target  string
 	healthy atomic.Bool
+	// epoch is the shard's last observed index epoch; -1 while unknown.
+	epoch atomic.Int64
 
 	requests  atomic.Int64
 	failures  atomic.Int64
 	retries   atomic.Int64
 	latencyUS atomic.Int64
 	maxUS     atomic.Int64
+}
+
+// setEpoch records the shard's last observed epoch.
+func (s *shardClient) setEpoch(e uint64) { s.epoch.Store(int64(e)) }
+
+// knownEpoch returns the shard's last observed epoch, if any.
+func (s *shardClient) knownEpoch() (uint64, bool) {
+	e := s.epoch.Load()
+	if e < 0 {
+		return 0, false
+	}
+	return uint64(e), true
 }
 
 func (s *shardClient) observe(d time.Duration, failed bool) {
@@ -122,12 +147,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		passive:    cfg.HealthInterval < 0,
 		stopHealth: make(chan struct{}),
 	}
+	r.clusterEpoch.Store(-1)
 	for i, t := range cfg.Targets {
 		target, err := api.NormalizeTarget(t)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard target at position %d: %w", i, err)
 		}
-		r.shards = append(r.shards, &shardClient{index: i, target: target})
+		s := &shardClient{index: i, target: target}
+		s.epoch.Store(-1)
+		r.shards = append(r.shards, s)
 	}
 	r.probeAll()
 	if cfg.HealthInterval > 0 {
@@ -162,6 +190,29 @@ func (r *Router) Shards() int { return len(r.shards) }
 // stats; zero while no shard has been reachable yet.
 func (r *Router) NumNodes() int { return int(r.numNodes.Load()) }
 
+// ClusterEpoch returns the highest index epoch observed on any shard, and
+// whether any epoch has been observed yet. The serving layer keys its result
+// cache on it, so an accepted update instantly retires every pre-update entry.
+func (r *Router) ClusterEpoch() (uint64, bool) {
+	e := r.clusterEpoch.Load()
+	if e < 0 {
+		return 0, false
+	}
+	return uint64(e), true
+}
+
+// observeEpoch raises the cluster epoch to e if it is the highest seen. The
+// epoch never lowers: a shard reporting less than the maximum is the shard
+// being behind, not the cluster.
+func (r *Router) observeEpoch(e uint64) {
+	for {
+		old := r.clusterEpoch.Load()
+		if int64(e) <= old || r.clusterEpoch.CompareAndSwap(old, int64(e)) {
+			return
+		}
+	}
+}
+
 // probeAll health-checks every shard concurrently (a down shard costs one
 // probe timeout, not one per shard per round) and, while the graph size is
 // still unknown, discovers it from the first healthy shard's stats.
@@ -180,7 +231,7 @@ func (r *Router) probeAll() {
 			if !s.healthy.Load() {
 				continue
 			}
-			if n := r.discoverNodes(s); n > 0 {
+			if n, _, ok := r.fetchShardStats(s); ok && n > 0 {
 				r.numNodes.Store(int64(n))
 				break
 			}
@@ -209,32 +260,36 @@ func (r *Router) probe(s *shardClient) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// discoverNodes reads the shard's /v1/stats for the graph size.
-func (r *Router) discoverNodes(s *shardClient) int {
+// fetchShardStats reads the shard's /v1/stats for the graph size and index
+// epoch, recording the epoch on the shard (and raising the cluster epoch).
+func (r *Router) fetchShardStats(s *shardClient) (nodes int, epoch uint64, ok bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.target+"/v1/stats", nil)
 	if err != nil {
-		return 0
+		return 0, 0, false
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return 0
+		return 0, 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return 0
+		return 0, 0, false
 	}
 	var st struct {
 		Graph struct {
 			Nodes int `json:"nodes"`
 		} `json:"graph"`
+		Epoch uint64 `json:"epoch"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return 0
+		return 0, 0, false
 	}
-	return st.Graph.Nodes
+	s.setEpoch(st.Epoch)
+	r.observeEpoch(st.Epoch)
+	return st.Graph.Nodes, st.Epoch, true
 }
 
 // shardFault reports whether a failed partial call indicates the shard
@@ -283,6 +338,8 @@ func (r *Router) partial(s *shardClient, preq *api.PartialRequest) (*api.Partial
 		return nil, fmt.Errorf("cluster: target %s answers as shard %d/%d, expected %d/%d: shard map misconfigured",
 			s.target, resp.Shard, resp.Shards, s.index, len(r.shards))
 	}
+	s.setEpoch(resp.Epoch)
+	r.observeEpoch(resp.Epoch)
 	s.healthy.Store(true)
 	return resp, nil
 }
@@ -335,6 +392,15 @@ type Result struct {
 	// sub-request under admission pressure degrades the answer but is not
 	// counted here.
 	ShardsDown int
+	// Epoch is the index epoch this answer was evaluated at: every merged
+	// increment came from a shard reporting exactly this epoch.
+	Epoch uint64
+	// ShardsBehind counts shards whose answers were discarded because they
+	// reported a different index epoch than Epoch — they are serving a
+	// different graph (a missed update fan-out, or a direct local update),
+	// and merging their mass would silently mix two graphs' PPVs. Their
+	// frontier mass is folded into the bound instead, like a down shard's.
+	ShardsBehind int
 	// LostFrontierMass is the total prefix weight that could not be expanded
 	// because its owning shard was unavailable; it is an upper bound on how
 	// much of the reported error bound is due to degradation rather than the
@@ -361,12 +427,17 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 	started := time.Now()
 	res := &Result{Query: q}
 	downShards := make(map[int]struct{})
+	staleShards := make(map[int]struct{})
 
-	root, rootShard, err := r.root(q, downShards)
+	root, rootShard, err := r.root(q, downShards, staleShards, res)
 	if err != nil {
 		return nil, err
 	}
 	res.RootFromIndex = root.FromIndex
+	// The root's epoch is the reference every further increment must match:
+	// merging replies from different epochs would sum PPV mass of two
+	// different graphs into one estimate.
+	res.Epoch = root.Epoch
 	if rootShard != r.part.Owner(q) {
 		// A non-owner answered iteration 0; for a hub query node this means
 		// the estimate starts from a freshly computed (unclipped) prime PPV
@@ -397,7 +468,7 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 		if len(frontier) == 0 {
 			break
 		}
-		merged, nextFrontier := r.expand(frontier, iter, res, downShards)
+		merged, nextFrontier := r.expand(frontier, iter, res, downShards, staleShards)
 		massAdded := merged.SumOrdered()
 		estimate.AddVector(merged)
 		mass += massAdded
@@ -410,7 +481,8 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 		}
 	}
 	res.ShardsDown = len(downShards)
-	if res.ShardsDown > 0 {
+	res.ShardsBehind = len(staleShards)
+	if res.ShardsDown > 0 || res.ShardsBehind > 0 {
 		res.Degraded = true
 	}
 	res.Duration = time.Since(started)
@@ -421,7 +493,12 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 // the other shards in ascending order (healthy ones first) — any shard can
 // compute the prime PPV of any node from its graph copy, so a lost owner
 // costs accuracy of the clip, not correctness.
-func (r *Router) root(q graph.NodeID, down map[int]struct{}) (*api.PartialResponse, int, error) {
+//
+// Epochs gate the fallback: a shard answering below the known cluster epoch
+// is serving a graph that has since been updated, so its root is only used as
+// a last resort (the freshest such answer, with the response flagged
+// degraded) when no shard at the current epoch can answer at all.
+func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result) (*api.PartialResponse, int, error) {
 	owner := r.part.Owner(q)
 	order := make([]*shardClient, 0, len(r.shards))
 	order = append(order, r.shards[owner])
@@ -433,7 +510,11 @@ func (r *Router) root(q graph.NodeID, down map[int]struct{}) (*api.PartialRespon
 	sort.SliceStable(order, func(i, j int) bool {
 		return order[i].healthy.Load() && !order[j].healthy.Load()
 	})
-	var lastErr error
+	clusterEpoch, epochKnown := r.ClusterEpoch()
+	var (
+		lastErr error
+		behind  = make(map[int]*api.PartialResponse)
+	)
 	for _, s := range order {
 		resp, err := r.partial(s, &api.PartialRequest{Query: &q})
 		if err != nil {
@@ -446,7 +527,37 @@ func (r *Router) root(q graph.NodeID, down map[int]struct{}) (*api.PartialRespon
 			lastErr = err
 			continue
 		}
+		if epochKnown && resp.Epoch < clusterEpoch {
+			// The shard is alive but behind the cluster epoch; keep its
+			// answer only as a fallback and try to root on a current shard.
+			behind[s.index] = resp
+			continue
+		}
+		// Rooting at the cluster epoch (or discovering it): every shard that
+		// answered below it is stale for the rest of this query.
+		for i := range behind {
+			stale[i] = struct{}{}
+		}
 		return resp, s.index, nil
+	}
+	if len(behind) > 0 {
+		// No shard serves the cluster epoch; degrade to the freshest graph
+		// still reachable. Shards at that same (older) epoch remain usable
+		// for expansion — mass only folds for epochs differing from the
+		// root's.
+		best, bestShard := (*api.PartialResponse)(nil), -1
+		for i, resp := range behind {
+			if best == nil || resp.Epoch > best.Epoch || (resp.Epoch == best.Epoch && i < bestShard) {
+				best, bestShard = resp, i
+			}
+		}
+		for i, resp := range behind {
+			if resp.Epoch != best.Epoch {
+				stale[i] = struct{}{}
+			}
+		}
+		res.Degraded = true
+		return best, bestShard, nil
 	}
 	return nil, -1, fmt.Errorf("cluster: no shard could answer iteration 0 for node %d: %w", q, lastErr)
 }
@@ -458,7 +569,14 @@ func (r *Router) root(q graph.NodeID, down map[int]struct{}) (*api.PartialRespon
 // request round instead of one timeout per down shard per iteration. In
 // passive mode (no background probe) an unhealthy shard is attempted anyway —
 // a successful request is then the only path back to healthy.
-func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down map[int]struct{}) (sparse.Vector, map[graph.NodeID]float64) {
+//
+// A reply whose index epoch differs from the query's reference epoch
+// (res.Epoch, fixed at the root) is never merged: the shard evaluated against
+// a different graph, so its mass folds into the bound exactly like a down
+// shard's and the shard is skipped for the rest of this query. Unlike a
+// fault, divergence does not mark the shard unhealthy — it is alive and
+// answering, just inconsistent with the cluster.
+func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down, stale map[int]struct{}) (sparse.Vector, map[graph.NodeID]float64) {
 	groups := make([]map[graph.NodeID]float64, len(r.shards))
 	for h, w := range frontier {
 		owner := r.part.Owner(h)
@@ -476,6 +594,12 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 			continue
 		}
 		s := r.shards[i]
+		if _, seenStale := stale[i]; seenStale {
+			// Epoch-divergent in this query: no request, its mass is folded
+			// by the merge loop below (without marking the shard down — it is
+			// alive, just serving a different graph).
+			continue
+		}
 		_, seenDown := down[i]
 		if seenDown || (!s.healthy.Load() && !r.passive) {
 			errs[i] = fmt.Errorf("cluster: shard %d (%s) is down", i, s.target)
@@ -501,25 +625,44 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 		if group == nil {
 			continue
 		}
-		// loseGroup accounts a failed sub-request: its prefix mass goes
-		// unexpanded (the exact bound widens by exactly that much) and the
-		// answer is degraded. Only shard faults exclude the shard from the
-		// rest of the query — a shed (overloaded) sub-request is retried at
-		// the next iteration and never reported as a down shard.
-		loseGroup := func(err error) {
-			if shardFault(err) {
-				down[i] = struct{}{}
-			}
+		// foldGroup accounts a sub-request that contributed nothing: its
+		// prefix mass goes unexpanded, the exact bound widens by exactly that
+		// much, and the answer is degraded.
+		foldGroup := func() {
 			for _, w := range group {
 				res.LostFrontierMass += w
 			}
 			res.Degraded = true
+		}
+		// loseGroup is foldGroup for a failed sub-request. Only shard faults
+		// exclude the shard from the rest of the query — a shed (overloaded)
+		// sub-request is retried at the next iteration and never reported as
+		// a down shard.
+		loseGroup := func(err error) {
+			if shardFault(err) {
+				down[i] = struct{}{}
+			}
+			foldGroup()
+		}
+		if _, seenStale := stale[i]; seenStale && errs[i] == nil && replies[i] == nil {
+			// Skipped as epoch-divergent before the scatter: the bound
+			// widens, health and the down set stay untouched.
+			foldGroup()
+			continue
 		}
 		if errs[i] != nil || replies[i] == nil {
 			loseGroup(errs[i])
 			continue
 		}
 		reply := replies[i]
+		if reply.Epoch != res.Epoch {
+			// Epoch divergence: the shard answered from a different graph.
+			// Its mass folds into the (still exact) bound and the shard sits
+			// out the rest of this query; health is untouched.
+			stale[i] = struct{}{}
+			foldGroup()
+			continue
+		}
 		inc, err := reply.Increment.Decode()
 		if err == nil {
 			merged.AddVector(inc)
@@ -548,11 +691,166 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 
 func ptr[T any](v T) *T { return &v }
 
+// ClusterUpdate is the outcome of one update fan-out across the cluster.
+type ClusterUpdate struct {
+	// Epoch is the cluster epoch after the fan-out: target epoch + 1 when at
+	// least one shard applied the batch.
+	Epoch uint64
+	// Applied counts the shards that committed the batch; the rest are listed
+	// with their failure in Results.
+	Applied int
+	Results []api.ShardUpdateResult
+	// Duration is the end-to-end fan-out time.
+	Duration time.Duration
+}
+
+// Degraded reports whether the fan-out left the cluster divergent: at least
+// one shard did not apply the batch and now serves an older graph (its mass
+// folds into every query's bound until it is restarted or rebuilt).
+func (cu *ClusterUpdate) Degraded() bool { return cu.Applied < len(cu.Results) }
+
+// Update fans one graph-update batch out to every shard, in ascending shard
+// order under a single fan-out lock, so concurrent updates reach all shards
+// as the same sequence — equal epochs then imply equal graphs. (The epoch is
+// a counter, not a content hash: the implication holds as long as shards only
+// receive batches through routers or replay their own logs. An operator
+// posting substitute batches directly to one shard can fabricate an equal
+// count for a different graph; see the README caveat.)
+//
+// Every leg is conditional (api.UpdateRequest.IfEpoch = the cluster epoch at
+// fan-out start): a shard whose epoch does not match — it missed an earlier
+// batch, took a direct local update, or restarted without its logs — rejects
+// the batch instead of applying it out of sequence, and is reported failed.
+// Failed shards do not abort the fan-out (the healthy majority moves on and
+// the stragglers are folded out of query answers by their stale epoch); only
+// a fan-out no shard applied returns an error.
+//
+// When req.IfEpoch is set by the caller it is checked against the cluster
+// epoch before anything is sent, turning the whole fan-out into a
+// compare-and-set on the cluster state.
+func (r *Router) Update(req api.UpdateRequest) (*ClusterUpdate, error) {
+	r.updateMu.Lock()
+	defer r.updateMu.Unlock()
+	start := time.Now()
+
+	// Establish the target epoch: every shard whose epoch is unknown (no
+	// query has touched it yet) is asked directly.
+	for _, s := range r.shards {
+		if _, known := s.knownEpoch(); !known {
+			r.fetchShardStats(s)
+		}
+	}
+	clusterEpoch, epochKnown := r.ClusterEpoch()
+	if !epochKnown {
+		return nil, &api.Error{Code: api.CodeUnavailable,
+			Message: "cluster: cannot establish the cluster epoch: no shard reachable"}
+	}
+	if req.IfEpoch != nil && *req.IfEpoch != clusterEpoch {
+		return nil, &api.Error{Code: api.CodeEpochMismatch,
+			Message: fmt.Sprintf("cluster: at epoch %d, not %d", clusterEpoch, *req.IfEpoch)}
+	}
+	req.IfEpoch = &clusterEpoch
+
+	cu := &ClusterUpdate{Epoch: clusterEpoch}
+	var firstErr error
+	for _, s := range r.shards {
+		out := api.ShardUpdateResult{Shard: s.index, Target: s.target}
+		epoch, known := s.knownEpoch()
+		switch {
+		case !known:
+			out.ErrorCode = api.CodeUnavailable
+			out.Error = "shard unreachable; epoch unknown"
+		case epoch != clusterEpoch:
+			// Applying on top of a divergent shard would interleave batches
+			// out of order; leave it cleanly behind instead.
+			out.Epoch = epoch
+			out.ErrorCode = api.CodeEpochMismatch
+			out.Error = fmt.Sprintf("shard at epoch %d, cluster at %d", epoch, clusterEpoch)
+		default:
+			resp, err := r.postUpdate(s, &req)
+			if err != nil {
+				var aerr *api.Error
+				if errors.As(err, &aerr) {
+					out.ErrorCode = aerr.Code
+					out.Error = aerr.Message
+				} else {
+					out.ErrorCode = api.CodeUnavailable
+					out.Error = err.Error()
+				}
+				if shardFault(err) {
+					s.healthy.Store(false)
+				}
+			} else {
+				s.setEpoch(resp.Epoch)
+				r.observeEpoch(resp.Epoch)
+				out.Applied = true
+				out.Epoch = resp.Epoch
+				out.AffectedHubs = resp.AffectedHubs
+				cu.Applied++
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		cu.Results = append(cu.Results, out)
+	}
+	cu.Duration = time.Since(start)
+	if cu.Applied == 0 {
+		if firstErr != nil {
+			return nil, fmt.Errorf("cluster: update applied on no shard: %w", firstErr)
+		}
+		return nil, &api.Error{Code: api.CodeUnavailable, Message: "cluster: update applied on no shard"}
+	}
+	cu.Epoch = clusterEpoch + 1
+	return cu, nil
+}
+
+// postUpdate performs one /v1/update call against shard s.
+func (r *Router) postUpdate(s *shardClient, ureq *api.UpdateRequest) (*api.UpdateResponse, error) {
+	body, err := json.Marshal(ureq)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.target+"/v1/update", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		s.observe(time.Since(start), true)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.observe(time.Since(start), true)
+		var eresp api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&eresp); err == nil && eresp.Error.Code != "" {
+			return nil, &eresp.Error
+		}
+		return nil, fmt.Errorf("cluster: %s/v1/update returned status %d", s.target, resp.StatusCode)
+	}
+	var uresp api.UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&uresp); err != nil {
+		s.observe(time.Since(start), true)
+		return nil, fmt.Errorf("cluster: decoding update response from %s: %w", s.target, err)
+	}
+	s.observe(time.Since(start), false)
+	return &uresp, nil
+}
+
 // ShardStats is the router's view of one shard, for stats endpoints.
 type ShardStats struct {
-	Shard         int     `json:"shard"`
-	Target        string  `json:"target"`
-	Healthy       bool    `json:"healthy"`
+	Shard   int    `json:"shard"`
+	Target  string `json:"target"`
+	Healthy bool   `json:"healthy"`
+	// Epoch is the shard's last observed index epoch; EpochKnown is false
+	// until the router has seen any response from it.
+	Epoch         uint64  `json:"epoch"`
+	EpochKnown    bool    `json:"epoch_known"`
 	Requests      int64   `json:"requests"`
 	Failures      int64   `json:"failures"`
 	Retries       int64   `json:"retries"`
@@ -562,14 +860,21 @@ type ShardStats struct {
 
 // Stats summarizes the cluster as the router sees it.
 type Stats struct {
-	Nodes         int          `json:"nodes"`
+	Nodes int `json:"nodes"`
+	// Epoch is the cluster index epoch (the highest observed on any shard);
+	// ShardsBehind counts shards whose last observed epoch is below it —
+	// their answers are currently folded out of every query.
+	Epoch         uint64       `json:"epoch"`
+	ShardsBehind  int          `json:"shards_behind"`
 	ShardsHealthy int          `json:"shards_healthy"`
 	Shards        []ShardStats `json:"shards"`
 }
 
-// Stats returns a point-in-time snapshot of shard health and latency.
+// Stats returns a point-in-time snapshot of shard health, epochs and latency.
 func (r *Router) Stats() Stats {
 	st := Stats{Nodes: r.NumNodes()}
+	clusterEpoch, epochKnown := r.ClusterEpoch()
+	st.Epoch = clusterEpoch
 	for _, s := range r.shards {
 		ss := ShardStats{
 			Shard:    s.index,
@@ -578,6 +883,10 @@ func (r *Router) Stats() Stats {
 			Requests: s.requests.Load(),
 			Failures: s.failures.Load(),
 			Retries:  s.retries.Load(),
+		}
+		ss.Epoch, ss.EpochKnown = s.knownEpoch()
+		if epochKnown && ss.EpochKnown && ss.Epoch < clusterEpoch {
+			st.ShardsBehind++
 		}
 		if ss.Requests > 0 {
 			ss.MeanLatencyMS = float64(s.latencyUS.Load()) / float64(ss.Requests) / 1e3

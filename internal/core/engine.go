@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastppv/internal/graph"
@@ -56,6 +57,15 @@ type Engine struct {
 
 	offline     OfflineStats
 	precomputed bool
+
+	// epoch counts the graph-update batches folded into the engine's state:
+	// it starts at Options.InitialEpoch (the batches already replayed into the
+	// supplied graph, e.g. from a graph-mutation log) and ApplyUpdate bumps it
+	// once per committed batch. Two replicas that applied the same update
+	// sequence report the same epoch, which is what lets a cluster router
+	// detect a replica serving a different graph. Atomic so stats and the
+	// partial-query path can read it without the serving layer's update lock.
+	epoch atomic.Uint64
 }
 
 // NewEngine creates an engine over g with the given options, storing prime
@@ -72,7 +82,9 @@ func NewEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) 
 	if index == nil {
 		index = ppvindex.NewMemIndex()
 	}
-	return &Engine{g: g, opts: opts, index: index}, nil
+	e := &Engine{g: g, opts: opts, index: index}
+	e.epoch.Store(opts.InitialEpoch)
+	return e, nil
 }
 
 // NewServingEngine creates an engine that answers queries from an existing,
@@ -132,6 +144,7 @@ func NewServingEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, 
 		index:       index,
 		precomputed: true,
 	}
+	e.epoch.Store(opts.InitialEpoch)
 	e.offline = OfflineStats{
 		Hubs:         len(hubNodes),
 		IndexBytes:   index.SizeBytes(),
@@ -155,6 +168,11 @@ func (e *Engine) Options() Options { return e.opts }
 // Partition returns the hub partition this engine serves (zero value when
 // unsharded).
 func (e *Engine) Partition() Partition { return e.opts.Partition }
+
+// Epoch returns the engine's index epoch: the number of graph-update batches
+// folded into the graph and index it serves (including Options.InitialEpoch
+// batches replayed before the engine was created).
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
 // OfflineStats returns the statistics of the last Precompute run.
 func (e *Engine) OfflineStats() OfflineStats { return e.offline }

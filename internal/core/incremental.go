@@ -39,6 +39,8 @@ type UpdateStats struct {
 	// of these nodes may be stale even if it expanded no recomputed hub (its
 	// own prime PPV was computed on the fly over the old graph).
 	TouchedNodes []graph.NodeID
+	// Epoch is the engine's index epoch after this update committed.
+	Epoch uint64
 	// Duration is the wall time of the whole update.
 	Duration time.Duration
 }
@@ -51,6 +53,17 @@ type UpdateStats struct {
 // (the in-memory index) simply don't implement it.
 type UpdateCommitter interface {
 	CommitUpdates() error
+}
+
+// GraphUpdateLogger is implemented by index stores that persist the graph
+// mutations themselves (fastppv's disk store, behind a graph-mutation log):
+// ApplyUpdate hands the batch over after every staged Put and before
+// CommitUpdates, so the store can make the recomputed PPVs and the mutation
+// that caused them durable in the same commit. Reopening such a store replays
+// the logged batches into the graph, so on-the-fly PPVs of non-hub queries do
+// not revert to the original graph after a restart.
+type GraphUpdateLogger interface {
+	AppendGraphUpdate(upd GraphUpdate) error
 }
 
 // ApplyUpdate implements the dynamic-graph extension sketched in the paper's
@@ -143,6 +156,15 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 			return stats, fmt.Errorf("core: re-indexing hub %d: %w", h, err)
 		}
 	}
+	// Stage the graph mutation itself alongside the PPV rewrites: a store
+	// with a graph-mutation log appends the batch here and fsyncs it in
+	// CommitUpdates below, so a restart replays the same graph this update
+	// produced.
+	if gl, ok := e.index.(GraphUpdateLogger); ok {
+		if err := gl.AppendGraphUpdate(upd); err != nil {
+			return stats, fmt.Errorf("core: logging graph update: %w", err)
+		}
+	}
 	// Commit the staged writes as one durable batch before adopting the new
 	// graph: a store that logs updates fsyncs here, so either the whole batch
 	// is durable or the update reports failure (and the serving layer flips
@@ -153,6 +175,7 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 		}
 	}
 	e.g = newGraph
+	stats.Epoch = e.epoch.Add(1)
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	stats.AffectedHubs = len(affected)
 	stats.Recomputed = affected
@@ -163,6 +186,14 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 	sort.Slice(stats.TouchedNodes, func(i, j int) bool { return stats.TouchedNodes[i] < stats.TouchedNodes[j] })
 	stats.Duration = time.Since(start)
 	return stats, nil
+}
+
+// ReplayGraphUpdate applies one update batch to g and returns the resulting
+// graph, without touching any index: it is the pure graph half of ApplyUpdate,
+// used to replay a graph-mutation log on open (the recomputed hub PPVs are
+// replayed separately, from the index update log).
+func ReplayGraphUpdate(g *graph.Graph, upd GraphUpdate) (*graph.Graph, error) {
+	return rebuildGraph(g, upd)
 }
 
 // rebuildGraph applies the update to a copy of g and returns the new graph.

@@ -116,6 +116,42 @@ func TestApplyUpdateAffectsOnlyReachableHubs(t *testing.T) {
 	}
 }
 
+// TestApplyUpdateBumpsEpoch: every committed batch advances the index epoch
+// by exactly one, starting from Options.InitialEpoch, so replicas that
+// applied the same sequence agree on the epoch.
+func TestApplyUpdateBumpsEpoch(t *testing.T) {
+	g, err := gen.RandomDirected(40, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, nil, Options{NumHubs: 5, InitialEpoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Epoch(); got != 7 {
+		t.Fatalf("initial epoch = %d, want 7", got)
+	}
+	// A failed update must not advance the epoch.
+	if _, err := e.ApplyUpdate(GraphUpdate{AddedEdges: []graph.Edge{{From: 0, To: 9999}}}); err == nil {
+		t.Fatal("out-of-range update should fail")
+	}
+	if got := e.Epoch(); got != 7 {
+		t.Errorf("epoch after failed update = %d, want 7", got)
+	}
+	for i := 1; i <= 2; i++ {
+		stats, err := e.ApplyUpdate(GraphUpdate{AddedEdges: []graph.Edge{{From: 0, To: graph.NodeID(20 + i)}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(7 + i); stats.Epoch != want || e.Epoch() != want {
+			t.Errorf("after update %d: stats.Epoch=%d Epoch()=%d, want %d", i, stats.Epoch, e.Epoch(), want)
+		}
+	}
+}
+
 func TestApplyUpdateBeforePrecomputeFails(t *testing.T) {
 	g, err := gen.RandomDirected(10, 2, 1)
 	if err != nil {

@@ -67,6 +67,12 @@ type Options struct {
 	// precomputed, stored and expanded by the partial-query path. The zero
 	// value is unsharded.
 	Partition Partition
+	// InitialEpoch is the index epoch the engine starts at: the number of
+	// graph-update batches already folded into the supplied graph. Openers
+	// that replay a graph-mutation log set it to the replayed batch count, so
+	// a restarted replica reports the same epoch as one that applied the
+	// batches live.
+	InitialEpoch uint64
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -272,16 +272,28 @@ func (l *UpdateLog) SizeBytes() int64 { return l.size }
 // Records returns the number of frames in the log, including buffered ones.
 func (l *UpdateLog) Records() int64 { return l.records }
 
-// Close flushes, fsyncs and closes the log file.
+// Close discards any frames appended since the last Commit, fsyncs and closes
+// the log file. Frames still uncommitted at Close belong to an update batch
+// that never committed (ApplyUpdate reports failure exactly when the commit
+// does not complete); persisting them would replay half a batch — hub PPVs of
+// a graph change that officially never happened — so the tail rolls back to
+// the last committed frame instead.
 func (l *UpdateLog) Close() error {
-	flushErr := l.w.Flush()
-	if flushErr == nil {
-		flushErr = l.f.Sync()
+	l.w.Reset(l.f)
+	var firstErr error
+	if l.size != l.committedSize {
+		if err := l.f.Truncate(l.committedSize); err != nil {
+			firstErr = err
+		}
+		l.size, l.records = l.committedSize, l.committedRecords
 	}
-	if err := l.f.Close(); flushErr == nil {
-		flushErr = err
+	if err := l.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
 	}
-	return flushErr
+	if err := l.f.Close(); firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // DurabilityStats summarizes the durable-update machinery of a disk-backed
@@ -299,6 +311,15 @@ type DurabilityStats struct {
 	// 24-byte file header).
 	LogBytes   int64 `json:"log_bytes"`
 	LogRecords int64 `json:"log_records"`
+	// GraphLogEnabled reports whether committed graph updates themselves are
+	// persisted to a graph-mutation log (false means a restart reverts the
+	// graph to the original -graph file even though the updated hub PPVs
+	// replay from the update log).
+	GraphLogEnabled bool `json:"graph_log_enabled"`
+	// GraphLogBytes and GraphLogRecords size the graph-mutation log;
+	// GraphLogRecords equals the index epoch the store would replay to.
+	GraphLogBytes   int64 `json:"graph_log_bytes,omitempty"`
+	GraphLogRecords int64 `json:"graph_log_records,omitempty"`
 	// Compactions counts completed compactions since the store was opened.
 	Compactions int64 `json:"compactions"`
 }

@@ -174,6 +174,45 @@ func TestUpdateLogStopsAtCorruptFrame(t *testing.T) {
 	}
 }
 
+// TestUpdateLogCloseDiscardsUncommitted: frames appended by a batch whose
+// commit never ran (the update failed) must not survive Close — replaying
+// them would restore half a batch for a graph change that never happened.
+func TestUpdateLogCloseDiscardsUncommitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.log")
+	l, err := OpenUpdateLog(path, 1000, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, sparse.Vector{4: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committedSize := l.SizeBytes()
+	if err := l.Append(2, sparse.Vector{5: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != committedSize {
+		t.Errorf("file size after close = %d (%v), want the committed %d", st.Size(), err, committedSize)
+	}
+	var replayed []struct {
+		hub graph.NodeID
+		ppv sparse.Vector
+	}
+	l2, err := OpenUpdateLog(path, 1000, 30, collectReplay(&replayed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(replayed) != 1 || replayed[0].hub != 1 {
+		t.Fatalf("replayed %v, want only the committed frame", replayed)
+	}
+}
+
 func TestUpdateLogRejectsForeignFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "idx.log")
 	if err := os.WriteFile(path, []byte("definitely not an update log"), 0o644); err != nil {

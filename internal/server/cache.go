@@ -17,6 +17,13 @@ type CacheKey struct {
 	Node        graph.NodeID
 	Eta         int
 	TargetError float64
+	// Epoch is the cluster index epoch the answer belongs to (router mode
+	// only; engine mode invalidates by hub dependency instead and leaves it
+	// zero). Keying on it makes an accepted update instantly retire every
+	// pre-update answer — lookups move to the new epoch and the old entries
+	// age out — and keeps a post-update request from coalescing onto a
+	// pre-update flight.
+	Epoch uint64
 }
 
 // cachedAnswer is a fully computed query answer held by the cache and shared
@@ -31,11 +38,13 @@ type cachedAnswer struct {
 	// path or by a cluster that lost shards mid-query; they answer with less
 	// accuracy than a healthy full-service computation and are never cached.
 	degraded bool
-	// shardsDown and lostMass describe cluster degradation (router mode
-	// only): how many shards were unavailable and how much frontier mass went
-	// unexpanded because of it.
-	shardsDown int
-	lostMass   float64
+	// shardsDown, shardsBehind and lostMass describe cluster degradation
+	// (router mode only): how many shards were unavailable, how many answered
+	// at a divergent index epoch and were folded out, and how much frontier
+	// mass went unexpanded because of either.
+	shardsDown   int
+	shardsBehind int
+	lostMass     float64
 	// bytes is the estimated memory footprint used for budget accounting.
 	bytes int64
 }
@@ -133,6 +142,9 @@ func (c *Cache) shardFor(k CacheKey) *cacheShard {
 	te := math.Float64bits(k.TargetError)
 	for i := 0; i < 8; i++ {
 		h.WriteByte(byte(te >> (8 * i)))
+	}
+	for i := 0; i < 8; i++ {
+		h.WriteByte(byte(k.Epoch >> (8 * i)))
 	}
 	return c.shards[h.Sum64()%uint64(len(c.shards))]
 }

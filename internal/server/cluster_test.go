@@ -189,7 +189,6 @@ func TestRouterModeUnsupportedEndpoints(t *testing.T) {
 	routerTS, _ := routerServer(t, []string{shards[0].URL})
 
 	for _, c := range []struct{ path, body string }{
-		{"/v1/update", `{"added_edges":[[1,2]]}`},
 		{"/v1/compact", ""},
 		{"/v1/partial", `{"query":3}`},
 	} {
@@ -325,6 +324,297 @@ func TestPartialEndpoint(t *testing.T) {
 	if exp.HubsExpanded != wantExp.HubsExpanded || exp.HubsSkipped != wantExp.HubsSkipped {
 		t.Errorf("expanded/skipped = %d/%d, want %d/%d",
 			exp.HubsExpanded, exp.HubsSkipped, wantExp.HubsExpanded, wantExp.HubsSkipped)
+	}
+}
+
+// shardStatsOf decodes a shard's /v1/stats.
+func shardStatsOf(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	status, _, body := get(t, ts, "/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/stats = %d: %s", status, body)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestClusterUpdateFanOut drives the tentpole end to end: an update posted to
+// the router must reach every shard, leave them at the same epoch, and the
+// routed post-update top-k must match a single-node engine given the same
+// update.
+func TestClusterUpdateFanOut(t *testing.T) {
+	g := socialGraph(t, 500)
+	single := testEngine(t, g, 70)
+	shards := shardedServers(t, g, 70, 2)
+	routerTS, rt := routerServer(t, []string{shards[0].URL, shards[1].URL})
+
+	// Warm the router cache with a pre-update answer so the invalidation
+	// satellite is exercised on the same path.
+	path := "/v1/ppv?node=42&eta=3&top=10"
+	if st, _, body := get(t, routerTS, path); st != http.StatusOK {
+		t.Fatalf("pre-update query: %d %s", st, body)
+	}
+	if _, hdr, _ := get(t, routerTS, path); hdr.Get("X-Fastppv-Cache") != "hit" {
+		t.Fatalf("pre-update answer not cached")
+	}
+
+	// An edge out of a hub guarantees at least one recomputed hub.
+	hub := single.Hubs().Hubs()[0]
+	target := graph.NodeID(431)
+	if target == hub {
+		target = 432
+	}
+	body := fmt.Sprintf(`{"added_edges":[[%d,%d]]}`, hub, target)
+	status, respBody := post(t, routerTS, "/v1/update", body)
+	if status != http.StatusOK {
+		t.Fatalf("router update = %d: %s", status, respBody)
+	}
+	var cu api.ClusterUpdateResponse
+	if err := json.Unmarshal(respBody, &cu); err != nil {
+		t.Fatal(err)
+	}
+	if cu.ShardsApplied != 2 || cu.ShardsFailed != 0 || cu.Degraded {
+		t.Fatalf("fan-out outcome %+v, want both shards applied", cu)
+	}
+	if cu.Epoch != 1 {
+		t.Fatalf("cluster epoch after first update = %d, want 1", cu.Epoch)
+	}
+	if cu.Invalidated == 0 {
+		t.Error("router cache not invalidated by the accepted update")
+	}
+	for i, ts := range shards {
+		if st := shardStatsOf(t, ts); st.Epoch != 1 {
+			t.Errorf("shard %d reports epoch %d after fan-out, want 1", i, st.Epoch)
+		}
+	}
+	if st := shardStatsOf(t, routerTS); st.Epoch != 1 || st.Cluster == nil || st.Cluster.ShardsBehind != 0 {
+		t.Errorf("router stats after fan-out: epoch=%d cluster=%+v", st.Epoch, st.Cluster)
+	}
+
+	// The pre-update cached answer must not survive: same URL, fresh compute.
+	if _, hdr, _ := get(t, routerTS, path); hdr.Get("X-Fastppv-Cache") == "hit" {
+		t.Error("pre-update answer served from cache after an accepted update")
+	}
+
+	// Routed answers now match a single-node engine with the same update.
+	if _, err := single.ApplyUpdate(core.GraphUpdate{AddedEdges: []graph.Edge{{From: hub, To: target}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Epoch(); got != 1 {
+		t.Fatalf("single-node epoch = %d, want 1", got)
+	}
+	for _, node := range []int{int(hub), int(target), 3, 77} {
+		want, err := single.Query(graph.NodeID(node), core.StopCondition{MaxIterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Query(graph.NodeID(node), core.StopCondition{MaxIterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded || res.ShardsBehind != 0 || res.ShardsDown != 0 {
+			t.Fatalf("node %d: healthy post-update cluster degraded: %+v", node, res)
+		}
+		if res.Epoch != 1 {
+			t.Errorf("node %d: routed answer at epoch %d, want 1", node, res.Epoch)
+		}
+		if math.Abs(res.L1ErrorBound-want.L1ErrorBound) > 1e-12 {
+			t.Errorf("node %d: routed bound %.15f, single-node %.15f", node, res.L1ErrorBound, want.L1ErrorBound)
+		}
+		gotTop, wantTop := res.TopK(10), want.TopK(10)
+		if len(gotTop) != len(wantTop) {
+			t.Fatalf("node %d: %d results via router, %d single-node", node, len(gotTop), len(wantTop))
+		}
+		for i := range wantTop {
+			if gotTop[i].Node != wantTop[i].Node || math.Abs(gotTop[i].Score-wantTop[i].Score) > 1e-12 {
+				t.Errorf("node %d rank %d: router (%d,%v), single-node (%d,%v)",
+					node, i, gotTop[i].Node, gotTop[i].Score, wantTop[i].Node, wantTop[i].Score)
+			}
+		}
+	}
+}
+
+// TestClusterDirectShardUpdateDiverges is the divergence footgun: a shard
+// taking a direct local update while fronted by a router must bump its epoch,
+// and the router must fold it out — degraded answer, strictly wider exact
+// bound — instead of merging answers from two different graphs.
+func TestClusterDirectShardUpdateDiverges(t *testing.T) {
+	g := socialGraph(t, 400)
+	shards := shardedServers(t, g, 60, 2)
+	routerTS, _ := routerServer(t, []string{shards[0].URL, shards[1].URL})
+
+	// Pick a node owned by shard 0 so the root stays on the consistent shard.
+	part := core.Partition{Shards: 2}
+	node := 0
+	for ; part.Owner(graph.NodeID(node)) != 0; node++ {
+	}
+	path := fmt.Sprintf("/v1/ppv?node=%d&eta=3&top=5", node)
+	st, _, healthyBody := get(t, routerTS, path)
+	if st != http.StatusOK {
+		t.Fatalf("healthy query failed: %d %s", st, healthyBody)
+	}
+	var healthy QueryResponse
+	if err := json.Unmarshal(healthyBody, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Degraded {
+		t.Fatalf("healthy cluster answered degraded: %s", healthyBody)
+	}
+
+	// Update shard 1 directly, behind the router's back.
+	status, body := post(t, shards[1], "/v1/update", `{"added_edges":[[5,9]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("direct shard update = %d: %s", status, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Epoch != 1 {
+		t.Fatalf("direct update left shard at epoch %d, want 1", ur.Epoch)
+	}
+
+	// A different eta dodges the router's (epoch-0-keyed) cached answer.
+	divergedPath := fmt.Sprintf("/v1/ppv?node=%d&eta=4&top=5", node)
+	st, hdr, divergedBody := get(t, routerTS, divergedPath)
+	if st != http.StatusOK {
+		t.Fatalf("query against diverged cluster must still answer: %d %s", st, divergedBody)
+	}
+	var diverged QueryResponse
+	if err := json.Unmarshal(divergedBody, &diverged); err != nil {
+		t.Fatal(err)
+	}
+	if !diverged.Degraded || diverged.ShardsBehind == 0 {
+		t.Errorf("degraded=%v shards_behind=%d, want the divergent shard folded out: %s",
+			diverged.Degraded, diverged.ShardsBehind, divergedBody)
+	}
+	if diverged.ShardsDown != 0 {
+		t.Errorf("shards_down = %d: divergence must not be reported as an outage", diverged.ShardsDown)
+	}
+	if diverged.LostErrorMass <= 0 {
+		t.Errorf("lost_error_mass = %v, want > 0", diverged.LostErrorMass)
+	}
+	if diverged.L1ErrorBound <= healthy.L1ErrorBound {
+		t.Errorf("bound %.12f with a divergent shard not wider than healthy %.12f (eta even increased)",
+			diverged.L1ErrorBound, healthy.L1ErrorBound)
+	}
+	if hdr.Get("X-Fastppv-Cache") == "hit" {
+		t.Error("divergence-degraded answer served from cache")
+	}
+	// Degraded answers must not be cached.
+	_, hdr, _ = get(t, routerTS, divergedPath)
+	if hdr.Get("X-Fastppv-Cache") == "hit" {
+		t.Error("divergence-degraded answer was cached")
+	}
+	// The router's stats expose the divergence for operators.
+	if st := shardStatsOf(t, routerTS); st.Epoch != 1 || st.Cluster == nil || st.Cluster.ShardsBehind != 1 {
+		t.Errorf("router stats: epoch=%d cluster=%+v, want epoch 1 with one shard behind", st.Epoch, st.Cluster)
+	}
+}
+
+// TestClusterUpdateSkipsBehindShard checks the fan-out's ordering guard: a
+// shard that missed a batch (here: it was updated past the others directly,
+// the same class of divergence) is refused further batches instead of
+// applying them out of sequence.
+func TestClusterUpdateSkipsBehindShard(t *testing.T) {
+	g := socialGraph(t, 300)
+	shards := shardedServers(t, g, 40, 2)
+	routerTS, _ := routerServer(t, []string{shards[0].URL, shards[1].URL})
+
+	// Diverge shard 1 by two direct updates; the cluster epoch becomes 2 and
+	// shard 0 (epoch 0) is now "behind".
+	for _, b := range []string{`{"added_edges":[[1,2]]}`, `{"added_edges":[[2,3]]}`} {
+		if status, body := post(t, shards[1], "/v1/update", b); status != http.StatusOK {
+			t.Fatalf("direct update = %d: %s", status, body)
+		}
+	}
+	status, body := post(t, routerTS, "/v1/update", `{"added_edges":[[3,4]]}`)
+	if status != http.StatusOK {
+		t.Fatalf("router update = %d: %s", status, body)
+	}
+	var cu api.ClusterUpdateResponse
+	if err := json.Unmarshal(body, &cu); err != nil {
+		t.Fatal(err)
+	}
+	if cu.ShardsApplied != 1 || cu.ShardsFailed != 1 || !cu.Degraded {
+		t.Fatalf("fan-out over a diverged cluster: %+v, want exactly the current-epoch shard applied", cu)
+	}
+	if cu.Epoch != 3 {
+		t.Errorf("cluster epoch = %d, want 3 (two direct + one routed)", cu.Epoch)
+	}
+	for _, sh := range cu.Shards {
+		switch sh.Shard {
+		case 0:
+			if sh.Applied || sh.ErrorCode != api.CodeEpochMismatch {
+				t.Errorf("behind shard 0 outcome %+v, want epoch_mismatch refusal", sh)
+			}
+		case 1:
+			if !sh.Applied || sh.Epoch != 3 {
+				t.Errorf("current shard 1 outcome %+v, want applied at epoch 3", sh)
+			}
+		}
+	}
+}
+
+// TestUpdateConflictWhenInconsistent covers the failed-past-commit-point
+// satellite: once a server is flagged inconsistent, further updates must be
+// refused with the structured conflict code instead of stacking new batches
+// on possibly corrupt state.
+func TestUpdateConflictWhenInconsistent(t *testing.T) {
+	g := socialGraph(t, 200)
+	srv, err := New(testEngine(t, g, 30), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.inconsistent.Store(true)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := post(t, ts, "/v1/update", `{"added_edges":[[1,2]]}`)
+	if status != http.StatusConflict {
+		t.Fatalf("update on inconsistent engine = %d, want 409: %s", status, body)
+	}
+	var eresp api.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil || eresp.Error.Code != api.CodeConflict {
+		t.Errorf("error code = %q, want %q (%s)", eresp.Error.Code, api.CodeConflict, body)
+	}
+	// Health keeps failing too, so the refusal is not the only signal.
+	st, _, _ := get(t, ts, "/healthz")
+	if st != http.StatusServiceUnavailable {
+		t.Errorf("healthz on inconsistent engine = %d, want 503", st)
+	}
+}
+
+// TestUpdateIfEpochPrecondition covers the conditional-update wire contract
+// on a single engine: a stale if_epoch is refused with epoch_mismatch, the
+// matching one applies.
+func TestUpdateIfEpochPrecondition(t *testing.T) {
+	g := socialGraph(t, 200)
+	srv, err := New(testEngine(t, g, 30), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := post(t, ts, "/v1/update", `{"added_edges":[[1,2]],"if_epoch":7}`)
+	if status != http.StatusConflict {
+		t.Fatalf("mismatched if_epoch = %d, want 409: %s", status, body)
+	}
+	var eresp api.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil || eresp.Error.Code != api.CodeEpochMismatch {
+		t.Errorf("error code = %q, want %q (%s)", eresp.Error.Code, api.CodeEpochMismatch, body)
+	}
+	status, body = post(t, ts, "/v1/update", `{"added_edges":[[1,2]],"if_epoch":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("matching if_epoch = %d, want 200: %s", status, body)
+	}
+	var ur UpdateResponse
+	if err := json.Unmarshal(body, &ur); err != nil || ur.Epoch != 1 {
+		t.Errorf("update response %s, want epoch 1", body)
 	}
 }
 

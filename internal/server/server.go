@@ -291,11 +291,13 @@ type QueryResponse struct {
 	RequestedEta int  `json:"requested_eta"`
 	Iterations   int  `json:"iterations"`
 	Degraded     bool `json:"degraded,omitempty"`
-	// ShardsDown and LostErrorMass are set by a cluster router when shards
-	// were unavailable during this query: the answer is still correct, its
-	// L1 error bound is just wider by (up to) the lost mass. Degraded answers
-	// are never cached, so cacheable bodies stay deterministic.
+	// ShardsDown, ShardsBehind and LostErrorMass are set by a cluster router
+	// when shards were unavailable — or answered at a divergent index epoch —
+	// during this query: the answer is still correct, its L1 error bound is
+	// just wider by (up to) the lost mass. Degraded answers are never cached,
+	// so cacheable bodies stay deterministic.
 	ShardsDown    int          `json:"shards_down,omitempty"`
+	ShardsBehind  int          `json:"shards_behind,omitempty"`
 	LostErrorMass float64      `json:"lost_error_mass,omitempty"`
 	L1ErrorBound  float64      `json:"l1_error_bound"`
 	Results       []ScoredNode `json:"results"`
@@ -403,6 +405,12 @@ const (
 // engine.
 func (s *Server) answer(req queryRequest) (*cachedAnswer, cacheState, error) {
 	key := CacheKey{Node: req.node, Eta: req.eta, TargetError: req.targetError}
+	if s.router != nil {
+		// Key on the cluster epoch: an accepted update moves every lookup to
+		// the new epoch, so pre-update answers can never be served again and
+		// a post-update request never joins a pre-update flight.
+		key.Epoch, _ = s.router.ClusterEpoch()
+	}
 	if s.cache != nil {
 		if ans, ok := s.cache.Get(key); ok {
 			return ans, cacheHit, nil
@@ -466,13 +474,16 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 				L1ErrorBound: cres.L1ErrorBound,
 				Duration:     cres.Duration,
 			},
-			degraded:   degraded || cres.Degraded,
-			shardsDown: cres.ShardsDown,
-			lostMass:   cres.LostFrontierMass,
+			degraded:     degraded || cres.Degraded,
+			shardsDown:   cres.ShardsDown,
+			shardsBehind: cres.ShardsBehind,
+			lostMass:     cres.LostFrontierMass,
 		}
 		// Cluster-degraded answers carry a bound widened by lost shards; they
-		// must not outlive the outage in the cache.
-		if s.cache != nil && !ans.degraded {
+		// must not outlive the outage in the cache. An answer evaluated at a
+		// newer epoch than the key's (an update raced this query) is left
+		// uncached too: no future lookup would use the outdated key.
+		if s.cache != nil && !ans.degraded && cres.Epoch == key.Epoch {
 			s.cache.Put(key, ans)
 		}
 		unregister()
@@ -504,6 +515,7 @@ func (s *Server) render(req queryRequest, ans *cachedAnswer) QueryResponse {
 		Iterations:    ans.result.Iterations,
 		Degraded:      ans.degraded,
 		ShardsDown:    ans.shardsDown,
+		ShardsBehind:  ans.shardsBehind,
 		LostErrorMass: ans.lostMass,
 		L1ErrorBound:  ans.result.L1ErrorBound,
 		Results:       make([]ScoredNode, 0, len(top)),
@@ -671,6 +683,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		part, err = s.engine.PartialExpand(frontier)
 	}
 	p := s.engine.Partition()
+	epoch := s.engine.Epoch()
 	s.mu.RUnlock()
 	if err != nil {
 		if errors.Is(err, ppvindex.ErrIndexClosed) {
@@ -687,6 +700,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.PartialResponse{
 		Shard:        p.Shard,
 		Shards:       shards,
+		Epoch:        epoch,
 		Increment:    api.EncodeVector(part.Increment),
 		Frontier:     api.EncodeMap(part.Frontier),
 		HubsExpanded: part.HubsExpanded,
@@ -697,14 +711,13 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// UpdateRequest is the body of POST /v1/update: batches of edges to add and
-// remove, each edge a [from, to] pair. Pairs are decoded as slices so that a
-// wrong-length entry is rejected instead of being zero-filled.
-type UpdateRequest struct {
-	AddedEdges   [][]int `json:"added_edges,omitempty"`
-	RemovedEdges [][]int `json:"removed_edges,omitempty"`
-	NumNodes     int     `json:"num_nodes,omitempty"`
-}
+// UpdateRequest is the body of POST /v1/update (see api.UpdateRequest: the
+// router fans the same body out to the shards).
+type UpdateRequest = api.UpdateRequest
+
+// UpdateResponse reports what an update applied to a local engine did; a
+// router answers with api.ClusterUpdateResponse instead.
+type UpdateResponse = api.UpdateResponse
 
 // parseEdges validates that every entry is a [from, to] pair with both
 // endpoints inside [0, numNodes). Validating here keeps client mistakes out
@@ -724,19 +737,7 @@ func parseEdges(field string, pairs [][]int, numNodes int) ([]graph.Edge, error)
 	return edges, nil
 }
 
-// UpdateResponse reports what an update did.
-type UpdateResponse struct {
-	AffectedHubs   int     `json:"affected_hubs"`
-	UnaffectedHubs int     `json:"unaffected_hubs"`
-	Invalidated    int     `json:"invalidated"`
-	DurationMS     float64 `json:"duration_ms"`
-}
-
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if s.engine == nil {
-		writeError(w, unsupported("graph updates are applied per shard, not through the router"))
-		return
-	}
 	var ureq UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&ureq); err != nil {
 		writeError(w, badRequest("bad update body: %v", err))
@@ -750,9 +751,32 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("negative num_nodes"))
 		return
 	}
+	if s.router != nil {
+		s.handleClusterUpdate(w, ureq)
+		return
+	}
 	upd := core.GraphUpdate{NumNodes: ureq.NumNodes}
 
 	s.mu.Lock()
+	// A replica that failed an update past its commit point may mix old and
+	// new state; applying further batches on top would compound the damage
+	// and hand divergent state a newer epoch. Refuse until an operator
+	// restarts (replaying the durable logs) or re-precomputes. Checked under
+	// the write lock: an update queued behind the one that failed must see
+	// the flag it set, not the pre-failure value.
+	if s.inconsistent.Load() {
+		s.mu.Unlock()
+		writeError(w, &httpError{status: http.StatusConflict, code: api.CodeConflict,
+			msg: "engine is inconsistent after a failed update; restart or re-precompute before updating again"})
+		return
+	}
+	if ureq.IfEpoch != nil && *ureq.IfEpoch != s.engine.Epoch() {
+		epoch := s.engine.Epoch()
+		s.mu.Unlock()
+		writeError(w, &httpError{status: http.StatusConflict, code: api.CodeEpochMismatch,
+			msg: fmt.Sprintf("engine is at epoch %d, not %d", epoch, *ureq.IfEpoch)})
+		return
+	}
 	numNodes := s.engine.Graph().NumNodes()
 	if ureq.NumNodes > numNodes {
 		numNodes = ureq.NumNodes
@@ -792,7 +816,60 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		UnaffectedHubs: stats.UnaffectedHubs,
 		Invalidated:    invalidated,
 		DurationMS:     float64(stats.Duration) / 1e6,
+		Epoch:          stats.Epoch,
 	})
+}
+
+// handleClusterUpdate fans a validated update out to every shard through the
+// router and invalidates the router-side result cache once any shard has
+// accepted it. The response lists the per-shard outcomes: a partially applied
+// batch answers 200 with degraded:true — the update is live on the shards
+// that took it, and the stragglers' stale epochs fold them out of query
+// answers — while a batch no shard applied is an error.
+func (s *Server) handleClusterUpdate(w http.ResponseWriter, ureq UpdateRequest) {
+	cu, err := s.router.Update(ureq)
+	if err != nil {
+		var aerr *api.Error
+		if errors.As(err, &aerr) {
+			writeError(w, &httpError{status: statusForCode(aerr.Code), code: aerr.Code, msg: aerr.Message})
+			return
+		}
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, code: api.CodeUnavailable, msg: err.Error()})
+		return
+	}
+	// The epoch in the cache key already retires pre-update entries; the
+	// sweep just returns their memory ahead of LRU pressure.
+	invalidated := 0
+	if s.cache != nil {
+		invalidated = s.cache.Invalidate(func(CacheKey, *cachedAnswer) bool { return true })
+	}
+	s.updates.Add(1)
+	writeJSON(w, http.StatusOK, api.ClusterUpdateResponse{
+		Epoch:         cu.Epoch,
+		ShardsApplied: cu.Applied,
+		ShardsFailed:  len(cu.Results) - cu.Applied,
+		Degraded:      cu.Degraded(),
+		Shards:        cu.Results,
+		Invalidated:   invalidated,
+		DurationMS:    float64(cu.Duration) / 1e6,
+	})
+}
+
+// statusForCode maps a structured error code decoded from a shard (or raised
+// by the router) onto the HTTP status this server reports it with.
+func statusForCode(code string) int {
+	switch code {
+	case api.CodeBadRequest:
+		return http.StatusBadRequest
+	case api.CodeOverloaded, api.CodeRetry, api.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case api.CodeConflict, api.CodeEpochMismatch:
+		return http.StatusConflict
+	case api.CodeUnsupported:
+		return http.StatusNotImplemented
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // invalidateLocked drops exactly the cached answers an update can have made
@@ -899,6 +976,11 @@ type StatsResponse struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Graph         GraphInfo   `json:"graph"`
 	Offline       OfflineInfo `json:"offline"`
+	// Epoch is the index epoch: the engine's own in engine mode, the cluster
+	// epoch (highest observed on any shard) in router mode. The router reads
+	// this field off shard stats to learn epochs it has not seen in query
+	// traffic yet.
+	Epoch uint64 `json:"epoch"`
 	// Shard is the hub partition this server owns ("1/4"), present only on
 	// sharded engines.
 	Shard string `json:"shard,omitempty"`
@@ -943,11 +1025,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cst := s.router.Stats()
 		resp.Cluster = &cst
 		resp.Graph = GraphInfo{Nodes: cst.Nodes}
+		resp.Epoch = cst.Epoch
 	} else {
 		s.mu.RLock()
 		g := s.engine.Graph()
 		off := s.engine.OfflineStats()
 		resp.Graph = GraphInfo{Nodes: g.NumNodes(), Edges: g.NumEdges(), Directed: g.Directed()}
+		resp.Epoch = s.engine.Epoch()
 		s.mu.RUnlock()
 		resp.Offline = OfflineInfo{
 			Hubs:           off.Hubs,
