@@ -48,6 +48,12 @@
 // serve its first requests at cold-read latency; the result appears under
 // "warming" in /v1/stats.
 //
+// Observability: every mode exposes a Prometheus text-format GET /metrics
+// (the router additionally exports per-shard leg latency and epoch families),
+// ?trace=1 on /v1/ppv returns a per-iteration trace block, logs are
+// structured log/slog records (-log-format text|json, -log-level), and
+// -pprof-addr serves net/http/pprof on a separate listener.
+//
 // Endpoints:
 //
 //	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
@@ -56,6 +62,7 @@
 //	POST /v1/update                              apply a graph update
 //	POST /v1/compact                             fold the update log into the index
 //	GET  /v1/stats                               serving + offline + cluster statistics
+//	GET  /metrics                                Prometheus text-format metrics
 //	GET  /healthz                                readiness
 package main
 
@@ -63,8 +70,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,13 +83,13 @@ import (
 	"fastppv/internal/cluster"
 	"fastppv/internal/gen"
 	"fastppv/internal/server"
+	"fastppv/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("fastppvd: ")
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "fastppvd: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -107,7 +115,21 @@ func run(args []string) error {
 	cacheMB := fs.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent full-accuracy computations (0 = GOMAXPROCS)")
 	queueWait := fs.Duration("queue-wait", 25*time.Millisecond, "max wait for a computation slot before degrading")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	fs.Parse(args)
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel, "fastppvd")
+	if err != nil {
+		return err
+	}
+	startPprof(*pprofAddr, logger)
+
+	// One registry serves GET /metrics for the whole process: the server's
+	// families always, plus the router's shard-leg and epoch families in
+	// router mode.
+	registry := telemetry.NewRegistry()
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
@@ -121,6 +143,8 @@ func run(args []string) error {
 		MaxConcurrent: *maxConcurrent,
 		QueueWait:     *queueWait,
 		WarmHubs:      *warmHubs,
+		Registry:      registry,
+		Logger:        logger,
 	}
 
 	if *routerTargets != "" {
@@ -128,33 +152,39 @@ func run(args []string) error {
 			return fmt.Errorf("-router and -shard are mutually exclusive")
 		}
 		targets := strings.Split(*routerTargets, ",")
-		rt, err := cluster.NewRouter(cluster.RouterConfig{Targets: targets})
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Targets:  targets,
+			Registry: registry,
+			Logger:   logger,
+		})
 		if err != nil {
 			return err
 		}
 		defer rt.Close()
 		st := rt.Stats()
-		log.Printf("routing across %d shards (%d healthy, %d nodes discovered)",
-			len(st.Shards), st.ShardsHealthy, st.Nodes)
+		logger.Info("routing across shards",
+			"shards", len(st.Shards), "healthy", st.ShardsHealthy, "nodes", st.Nodes)
 		srv, err := server.NewRouter(rt, srvCfg)
 		if err != nil {
 			return err
 		}
-		return serve(*addr, srv)
+		return serve(*addr, srv, logger)
 	}
 
 	g, err := loadOrGenerate(*graphPath, *social, *seed)
 	if err != nil {
 		return err
 	}
-	log.Printf("graph: %v", g.Stats())
+	gs := g.Stats()
+	logger.Info("graph loaded", "nodes", gs.Nodes, "arcs", gs.Arcs,
+		"directed", gs.Directed, "dangling", gs.Dangling)
 
 	opts := fastppv.Options{NumHubs: *hubs, Alpha: *alpha}
 	if *shardSpec != "" {
 		if opts.Partition, err = fastppv.ParsePartition(*shardSpec); err != nil {
 			return err
 		}
-		log.Printf("serving hub partition %s", opts.Partition)
+		logger.Info("serving hub partition", "shard", opts.Partition.String())
 	}
 	dio := fastppv.DiskIndexOptions{
 		BlockCacheBytes:       *blockCacheBytes,
@@ -175,42 +205,47 @@ func run(args []string) error {
 	var engine *fastppv.Engine
 	if *indexPath != "" {
 		var closeIndex func() error
-		engine, closeIndex, err = openOrBuildDiskIndex(g, opts, *indexPath, dio)
+		engine, closeIndex, err = openOrBuildDiskIndex(g, opts, *indexPath, dio, logger)
 		if err != nil {
 			return err
 		}
 		defer closeIndex()
 		off := engine.OfflineStats()
-		log.Printf("serving %d hubs from %s (%.2f MB on disk, block cache %s, update log %s, epoch %d)",
-			off.Hubs, *indexPath, float64(off.IndexBytes)/(1<<20), blockCacheDesc(*blockCacheBytes),
-			updateLogDesc(*indexPath, dio), engine.Epoch())
+		logger.Info("serving disk index",
+			"hubs", off.Hubs, "index", *indexPath,
+			"index_mb", fmt.Sprintf("%.2f", float64(off.IndexBytes)/(1<<20)),
+			"block_cache", blockCacheDesc(*blockCacheBytes),
+			"update_log", updateLogDesc(*indexPath, dio),
+			"epoch", engine.Epoch())
 	} else {
 		engine, err = fastppv.New(g, opts)
 		if err != nil {
 			return err
 		}
-		log.Printf("precomputing hub index ...")
+		logger.Info("precomputing hub index")
 		if err := engine.Precompute(); err != nil {
 			return err
 		}
 		off := engine.OfflineStats()
-		log.Printf("indexed %d hubs in %v (%.2f MB, %d entries)",
-			off.Hubs, off.Total.Round(time.Millisecond), float64(off.IndexBytes)/(1<<20), off.IndexEntries)
+		logger.Info("hub index precomputed",
+			"hubs", off.Hubs, "duration", off.Total.Round(time.Millisecond).String(),
+			"index_mb", fmt.Sprintf("%.2f", float64(off.IndexBytes)/(1<<20)),
+			"entries", off.IndexEntries)
 	}
 
 	srv, err := server.New(engine, srvCfg)
 	if err != nil {
 		return err
 	}
-	return serve(*addr, srv)
+	return serve(*addr, srv, logger)
 }
 
 // serve runs the HTTP server until an error or a termination signal.
-func serve(addr string, srv *server.Server) error {
+func serve(addr string, srv *server.Server, logger *slog.Logger) error {
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s", addr)
+	logger.Info("serving", "addr", addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -218,11 +253,32 @@ func serve(addr string, srv *server.Server) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)
 	}
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener, kept
+// off the serving mux so profiling endpoints are never exposed on the query
+// port.
+func startPprof(addr string, logger *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Error("pprof server exited", "err", err.Error())
+		}
+	}()
 }
 
 // openOrBuildDiskIndex serves from an existing index file, or runs the
@@ -232,9 +288,9 @@ func serve(addr string, srv *server.Server) error {
 // on the build path: precomputation streams into <path>.tmp and the close
 // function publishes the finished index atomically (or discards the
 // temporary file when Precompute failed).
-func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, dio fastppv.DiskIndexOptions) (*fastppv.Engine, func() error, error) {
+func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, dio fastppv.DiskIndexOptions, logger *slog.Logger) (*fastppv.Engine, func() error, error) {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
-		log.Printf("index %s not found, precomputing ...", path)
+		logger.Info("index not found, precomputing", "index", path)
 		start := time.Now()
 		builder, closeBuilder, err := fastppv.NewWithDiskIndex(g, opts, path)
 		if err != nil {
@@ -247,7 +303,8 @@ func openOrBuildDiskIndex(g *fastppv.Graph, opts fastppv.Options, path string, d
 		if err := closeBuilder(); err != nil {
 			return nil, nil, err
 		}
-		log.Printf("precomputed %s in %v", path, time.Since(start).Round(time.Millisecond))
+		logger.Info("index precomputed", "index", path,
+			"duration", time.Since(start).Round(time.Millisecond).String())
 	}
 	return fastppv.OpenDiskIndexWithOptions(g, opts, path, dio)
 }

@@ -1,0 +1,313 @@
+// serve.go is the -serve mode of ppvbench: the standing serving benchmark
+// behind the BENCH_*.json perf trajectory. Unlike the experiment drivers
+// (which regenerate the paper's tables), -serve measures the system as
+// deployed: it starts an in-process fastppvd serving stack on a loopback
+// listener, replays a Zipfian workload over real HTTP, and measures
+// throughput, latency percentiles, response size and reported error bounds —
+// then times warm and cold hub-block reads against an on-disk index. The
+// result is written in the shared internal/benchfmt schema, the same one
+// `ppvload -json` emits, so CI artifacts and ad-hoc runs are comparable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"fastppv"
+	"fastppv/internal/benchfmt"
+	"fastppv/internal/gen"
+	"fastppv/internal/server"
+	"fastppv/internal/telemetry"
+	"fastppv/internal/workload"
+)
+
+// serveScales maps the -scale flag to serving-benchmark dataset sizes. They
+// are intentionally smaller than the experiment scales: the serving benchmark
+// runs on every CI push.
+var serveScales = map[string]struct{ nodes, hubs int }{
+	"tiny":   {3000, 300},
+	"small":  {20000, 2000},
+	"medium": {60000, 6000},
+}
+
+type serveConfig struct {
+	scale       string
+	out         string
+	requests    int
+	concurrency int
+	zipfS       float64
+	eta         int
+	top         int
+	seed        int64
+	diskReads   int
+	logFormat   string
+	logLevel    string
+}
+
+// runServe executes the serving benchmark and writes the benchfmt report.
+func runServe(cfg serveConfig) error {
+	logger, err := telemetry.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel, "ppvbench")
+	if err != nil {
+		return err
+	}
+	size, ok := serveScales[cfg.scale]
+	if !ok {
+		return fmt.Errorf("-serve supports -scale tiny, small or medium (got %q)", cfg.scale)
+	}
+	if cfg.requests < 1 || cfg.concurrency < 1 {
+		return fmt.Errorf("-requests and -concurrency must be positive")
+	}
+
+	gc := gen.DefaultSocialConfig()
+	gc.Nodes = size.nodes
+	gc.Seed = cfg.seed
+	g, err := gen.SocialGraph(gc)
+	if err != nil {
+		return err
+	}
+	engine, err := fastppv.New(g, fastppv.Options{NumHubs: size.hubs})
+	if err != nil {
+		return err
+	}
+	logger.Info("precomputing hub index", "nodes", size.nodes, "hubs", size.hubs)
+	if err := engine.Precompute(); err != nil {
+		return err
+	}
+
+	srv, err := server.New(engine, server.Config{Logger: logger})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	logger.Info("serving benchmark stack", "addr", base,
+		"requests", cfg.requests, "concurrency", cfg.concurrency, "zipf", cfg.zipfS)
+
+	qps, latencies, bounds, bytesPerQuery, hitRate, failures, err := driveWorkload(base, g.NumNodes(), cfg)
+	if err != nil {
+		return err
+	}
+
+	warmNS, coldNS, err := diskReadCosts(g, size.hubs, cfg.diskReads, logger)
+	if err != nil {
+		return err
+	}
+
+	report := &benchfmt.Report{
+		Source:    "ppvbench-serve",
+		Mode:      "engine",
+		Timestamp: time.Now().UTC(),
+		Graph: benchfmt.GraphInfo{
+			Nodes: g.NumNodes(),
+			Edges: g.NumEdges(),
+			Hubs:  size.hubs,
+		},
+		Workload: benchfmt.WorkloadInfo{
+			Requests:    cfg.requests,
+			Concurrency: cfg.concurrency,
+			ZipfS:       cfg.zipfS,
+			Eta:         cfg.eta,
+			Top:         cfg.top,
+		},
+		QPS:           qps,
+		LatencyMS:     benchfmt.SummarizeDurations(latencies),
+		BytesPerQuery: bytesPerQuery,
+		ErrorBound:    benchfmt.Summarize(bounds),
+		CacheHitRate:  hitRate,
+		Failures:      failures,
+		WarmReadNS:    warmNS,
+		ColdReadNS:    coldNS,
+	}
+	if err := benchfmt.WriteFile(cfg.out, report); err != nil {
+		return err
+	}
+	logger.Info("bench report written", "path", cfg.out,
+		"qps", fmt.Sprintf("%.1f", qps),
+		"p50_ms", fmt.Sprintf("%.3f", report.LatencyMS.P50),
+		"p99_ms", fmt.Sprintf("%.3f", report.LatencyMS.P99),
+		"warm_read_ns", fmt.Sprintf("%.0f", warmNS),
+		"cold_read_ns", fmt.Sprintf("%.0f", coldNS))
+	return nil
+}
+
+// driveWorkload replays the Zipfian query workload over HTTP and returns the
+// client-side measurements.
+func driveWorkload(base string, numNodes int, cfg serveConfig) (qps float64, latencies []time.Duration, bounds []float64, bytesPerQuery, hitRate float64, failures int, err error) {
+	type sample struct {
+		latency time.Duration
+		bound   float64
+		bytes   int
+		hit     bool
+		failed  bool
+	}
+	samples := make([]sample, cfg.requests)
+	var next int
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= cfg.requests {
+			return -1
+		}
+		next++
+		return next - 1
+	}
+
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.concurrency},
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		sampler, serr := workload.NewZipfSampler(numNodes, workload.ZipfOptions{
+			S:    cfg.zipfS,
+			Seed: cfg.seed + int64(w),
+		})
+		if serr != nil {
+			err = serr
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				url := fmt.Sprintf("%s/v1/ppv?node=%d&eta=%d&top=%d", base, sampler.Next(), cfg.eta, cfg.top)
+				t0 := time.Now()
+				resp, rerr := client.Get(url)
+				if rerr != nil {
+					samples[i] = sample{failed: true}
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					samples[i] = sample{failed: true}
+					continue
+				}
+				var body struct {
+					L1ErrorBound float64 `json:"l1_error_bound"`
+				}
+				if json.Unmarshal(raw, &body) != nil {
+					samples[i] = sample{failed: true}
+					continue
+				}
+				samples[i] = sample{
+					latency: time.Since(t0),
+					bound:   body.L1ErrorBound,
+					bytes:   len(raw),
+					hit:     resp.Header.Get("X-Fastppv-Cache") == "hit",
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalBytes int64
+	hits := 0
+	for _, s := range samples {
+		if s.failed {
+			failures++
+			continue
+		}
+		latencies = append(latencies, s.latency)
+		bounds = append(bounds, s.bound)
+		totalBytes += int64(s.bytes)
+		if s.hit {
+			hits++
+		}
+	}
+	if len(latencies) == 0 {
+		err = fmt.Errorf("all %d benchmark requests failed", cfg.requests)
+		return
+	}
+	qps = float64(len(latencies)) / elapsed.Seconds()
+	bytesPerQuery = float64(totalBytes) / float64(len(latencies))
+	hitRate = float64(hits) / float64(len(latencies))
+	return
+}
+
+// diskReadCosts builds a disk index for the benchmark graph in a temporary
+// directory and times per-hub-block reads with the block cache disabled
+// (cold: every read is a positioned disk read + record decode) and warm
+// (steady state of a skewed serving workload). Returns mean ns per read.
+func diskReadCosts(g *fastppv.Graph, numHubs, reads int, logger interface {
+	Info(msg string, args ...any)
+}) (warmNS, coldNS float64, err error) {
+	dir, err := os.MkdirTemp("", "ppvbench-disk")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/index.ppv"
+
+	opts := fastppv.Options{NumHubs: numHubs}
+	build, closeBuild, err := fastppv.NewWithDiskIndex(g, opts, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := build.Precompute(); err != nil {
+		closeBuild()
+		return 0, 0, err
+	}
+	if err := closeBuild(); err != nil {
+		return 0, 0, err
+	}
+	logger.Info("disk index built for read-cost measurement", "path", path, "reads", reads)
+
+	dio := fastppv.DiskIndexOptions{DisableUpdateLog: true, DisableGraphLog: true}
+
+	measure := func(cacheBytes int64, prefill bool) (float64, error) {
+		d := dio
+		d.BlockCacheBytes = cacheBytes
+		eng, closeIdx, err := fastppv.OpenDiskIndexWithOptions(g, opts, path, d)
+		if err != nil {
+			return 0, err
+		}
+		defer closeIdx()
+		idx := eng.Index()
+		hubs := idx.Hubs()
+		if len(hubs) == 0 {
+			return 0, fmt.Errorf("disk index holds no hubs")
+		}
+		if prefill {
+			for _, h := range hubs {
+				if _, ok, err := idx.Get(h); !ok || err != nil {
+					return 0, fmt.Errorf("prefilling hub %d: ok=%v err=%v", h, ok, err)
+				}
+			}
+		}
+		start := time.Now()
+		for i := 0; i < reads; i++ {
+			if _, ok, err := idx.Get(hubs[i%len(hubs)]); !ok || err != nil {
+				return 0, fmt.Errorf("reading hub %d: ok=%v err=%v", hubs[i%len(hubs)], ok, err)
+			}
+		}
+		return float64(time.Since(start)) / float64(reads), nil
+	}
+
+	if coldNS, err = measure(-1, false); err != nil { // cache disabled
+		return 0, 0, err
+	}
+	if warmNS, err = measure(64<<20, true); err != nil {
+		return 0, 0, err
+	}
+	return warmNS, coldNS, nil
+}

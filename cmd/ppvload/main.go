@@ -21,6 +21,11 @@
 // reported with its own percentiles, and update failures appear in the
 // per-code breakdown, so epoch-divergence drills (a shard refusing a batch)
 // are visible immediately.
+//
+// -json FILE additionally writes a machine-readable report in the shared
+// BENCH_*.json schema (internal/benchfmt), so ad-hoc runs are directly
+// comparable with the standing CI benchmark artifacts; "-json -" writes the
+// report to stdout and moves the human-readable summary to stderr.
 package main
 
 import (
@@ -28,7 +33,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"os"
 	"sort"
@@ -37,14 +41,15 @@ import (
 	"time"
 
 	"fastppv/internal/api"
+	"fastppv/internal/benchfmt"
+	"fastppv/internal/telemetry"
 	"fastppv/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ppvload: ")
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "ppvload: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -92,6 +97,7 @@ type outcome struct {
 	isUpdate  bool
 	degraded  bool
 	bound     float64
+	bytes     int
 	errCode   string
 	err       error
 	shardsOff int
@@ -107,9 +113,23 @@ func run(args []string) error {
 	top := fs.Int("top", 10, "ranked results per query")
 	updateEvery := fs.Int("update-every", 0, "make every Nth request a one-edge graph update posted to the first target (0 disables)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	jsonOut := fs.String("json", "", "write a BENCH_*.json-schema report (internal/benchfmt) to this file; \"-\" writes it to stdout")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	fs.Parse(args)
 	if *requests < 1 || *concurrency < 1 {
 		return fmt.Errorf("requests and concurrency must be positive")
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel, "ppvload")
+	if err != nil {
+		return err
+	}
+	// The human-readable summary goes to stdout, unless the machine-readable
+	// report claims stdout ("-json -"); then the summary moves to stderr so
+	// the JSON stays parseable.
+	out := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		out = os.Stderr
 	}
 	targets := strings.Split(*addr, ",")
 	for i := range targets {
@@ -121,6 +141,7 @@ func run(args []string) error {
 
 	before := make([]*serverStats, len(targets))
 	numNodes := 0
+	isRouter := false
 	for i, tgt := range targets {
 		st, err := fetchStats(tgt)
 		if err != nil {
@@ -130,12 +151,16 @@ func run(args []string) error {
 		if st.Graph.Nodes > numNodes {
 			numNodes = st.Graph.Nodes
 		}
+		if st.Cluster != nil {
+			isRouter = true
+		}
 	}
 	if numNodes < 1 {
 		return fmt.Errorf("no target reports a non-empty graph")
 	}
-	log.Printf("targets %s: %d nodes; sending %d requests, concurrency %d, zipf %.2f",
-		strings.Join(targets, ", "), numNodes, *requests, *concurrency, *zipfS)
+	logger.Info("starting load",
+		"targets", strings.Join(targets, ","), "nodes", numNodes,
+		"requests", *requests, "concurrency", *concurrency, "zipf", *zipfS)
 
 	outcomes := make([]outcome, *requests)
 	var next int
@@ -228,16 +253,20 @@ func run(args []string) error {
 					outcomes[i] = o
 					continue
 				}
+				raw, readErr := io.ReadAll(resp.Body)
+				resp.Body.Close()
 				var body struct {
 					Degraded     bool    `json:"degraded"`
 					ShardsDown   int     `json:"shards_down"`
 					L1ErrorBound float64 `json:"l1_error_bound"`
 				}
-				decErr := json.NewDecoder(resp.Body).Decode(&body)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				decErr := readErr
+				if decErr == nil {
+					decErr = json.Unmarshal(raw, &body)
+				}
 				o.latency = time.Since(t0)
 				o.state = resp.Header.Get("X-Fastppv-Cache")
+				o.bytes = len(raw)
 				o.degraded = body.Degraded
 				o.shardsOff = body.ShardsDown
 				o.bound = body.L1ErrorBound
@@ -253,6 +282,7 @@ func run(args []string) error {
 
 	var latencies, updLatencies []time.Duration
 	var bounds []float64
+	var queryBytes int64
 	perTarget := make([][]time.Duration, len(targets))
 	states := map[string]int{}
 	errCodes := map[string]int{}
@@ -275,6 +305,7 @@ func run(args []string) error {
 		latencies = append(latencies, o.latency)
 		perTarget[o.target] = append(perTarget[o.target], o.latency)
 		bounds = append(bounds, o.bound)
+		queryBytes += int64(o.bytes)
 		states[o.state]++
 		if o.degraded {
 			degraded++
@@ -287,7 +318,7 @@ func run(args []string) error {
 		return fmt.Errorf("all %d requests failed (%v)", *requests, errCodes)
 	}
 
-	fmt.Printf("sent %d requests in %v: %.1f req/s (%d failed)\n",
+	fmt.Fprintf(out, "sent %d requests in %v: %.1f req/s (%d failed)\n",
 		*requests, elapsed.Round(time.Millisecond),
 		float64(len(latencies)+len(updLatencies))/elapsed.Seconds(), failures)
 	if len(errCodes) > 0 {
@@ -300,40 +331,80 @@ func run(args []string) error {
 		for _, c := range codes {
 			parts = append(parts, fmt.Sprintf("%s=%d", c, errCodes[c]))
 		}
-		fmt.Printf("failures by code: %s\n", strings.Join(parts, " "))
+		fmt.Fprintf(out, "failures by code: %s\n", strings.Join(parts, " "))
 	}
 	if len(latencies) > 0 {
-		fmt.Printf("latency: %s\n", latencyLine(latencies))
+		fmt.Fprintf(out, "latency: %s\n", latencyLine(latencies))
 	}
 	if len(updLatencies) > 0 || updFailures > 0 {
 		if len(updLatencies) > 0 {
-			fmt.Printf("update latency: %s (%d applied, %d failed)\n",
+			fmt.Fprintf(out, "update latency: %s (%d applied, %d failed)\n",
 				latencyLine(updLatencies), len(updLatencies), updFailures)
 		} else {
-			fmt.Printf("updates: all %d failed\n", updFailures)
+			fmt.Fprintf(out, "updates: all %d failed\n", updFailures)
 		}
 	}
 	if len(targets) > 1 {
 		for i, tgt := range targets {
 			if len(perTarget[i]) == 0 {
-				fmt.Printf("  target %s: no successful requests\n", tgt)
+				fmt.Fprintf(out, "  target %s: no successful requests\n", tgt)
 				continue
 			}
-			fmt.Printf("  target %s: %s (%d ok)\n", tgt, latencyLine(perTarget[i]), len(perTarget[i]))
+			fmt.Fprintf(out, "  target %s: %s (%d ok)\n", tgt, latencyLine(perTarget[i]), len(perTarget[i]))
 		}
 	}
 	if len(bounds) > 0 {
 		sort.Float64s(bounds)
 		fpct := func(q float64) float64 { return bounds[int(q*float64(len(bounds)-1))] }
-		fmt.Printf("error bound: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+		fmt.Fprintf(out, "error bound: p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
 			fpct(0.50), fpct(0.90), fpct(0.99), bounds[len(bounds)-1])
-		fmt.Printf("responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
+		fmt.Fprintf(out, "responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
 			states["hit"], states["miss"], states["coalesced"], degraded, shardsDownMax)
 	}
 
 	for i, tgt := range targets {
-		if err := reportTarget(tgt, before[i], len(targets) > 1); err != nil {
+		if err := reportTarget(out, tgt, before[i], len(targets) > 1); err != nil {
 			return err
+		}
+	}
+
+	if *jsonOut != "" {
+		mode := "engine"
+		if isRouter {
+			mode = "router"
+		}
+		hitRate := 0.0
+		if len(latencies) > 0 {
+			hitRate = float64(states["hit"]) / float64(len(latencies))
+		}
+		bytesPerQuery := 0.0
+		if len(latencies) > 0 {
+			bytesPerQuery = float64(queryBytes) / float64(len(latencies))
+		}
+		report := &benchfmt.Report{
+			Source:    "ppvload",
+			Mode:      mode,
+			Timestamp: time.Now().UTC(),
+			Graph:     benchfmt.GraphInfo{Nodes: numNodes},
+			Workload: benchfmt.WorkloadInfo{
+				Requests:    *requests,
+				Concurrency: *concurrency,
+				ZipfS:       *zipfS,
+				Eta:         *eta,
+				Top:         *top,
+			},
+			QPS:           float64(len(latencies)+len(updLatencies)) / elapsed.Seconds(),
+			LatencyMS:     benchfmt.SummarizeDurations(latencies),
+			BytesPerQuery: bytesPerQuery,
+			ErrorBound:    benchfmt.Summarize(bounds),
+			CacheHitRate:  hitRate,
+			Failures:      failures,
+		}
+		if err := benchfmt.WriteFile(*jsonOut, report); err != nil {
+			return err
+		}
+		if *jsonOut != "-" {
+			logger.Info("wrote bench report", "path", *jsonOut)
 		}
 	}
 	return nil
@@ -348,11 +419,11 @@ func latencyLine(lat []time.Duration) string {
 }
 
 // reportTarget prints the server-side statistics delta for one target.
-func reportTarget(tgt string, before *serverStats, prefix bool) error {
+func reportTarget(out io.Writer, tgt string, before *serverStats, prefix bool) error {
 	after, err := fetchStats(tgt)
 	if err != nil {
 		// A target may legitimately be down by the end of a failure drill.
-		fmt.Printf("%s unreachable for final stats: %v\n", tgt, err)
+		fmt.Fprintf(out, "%s unreachable for final stats: %v\n", tgt, err)
 		return nil
 	}
 	pfx := ""
@@ -360,7 +431,7 @@ func reportTarget(tgt string, before *serverStats, prefix bool) error {
 		pfx = tgt + " "
 	}
 	if after.Shard != "" {
-		fmt.Printf("%sserving hub partition %s\n", pfx, after.Shard)
+		fmt.Fprintf(out, "%sserving hub partition %s\n", pfx, after.Shard)
 	}
 	if after.Cache != nil && before.Cache != nil {
 		hits := after.Cache.Hits - before.Cache.Hits
@@ -370,7 +441,7 @@ func reportTarget(tgt string, before *serverStats, prefix bool) error {
 		if total > 0 {
 			rate = float64(hits) / float64(total)
 		}
-		fmt.Printf("%sserver cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
+		fmt.Fprintf(out, "%sserver cache: %.1f%% hit rate this run (%d entries, %.2f MB held)\n",
 			pfx, rate*100, after.Cache.Entries, float64(after.Cache.Bytes)/(1<<20))
 	}
 	if after.BlockCache != nil {
@@ -385,17 +456,17 @@ func reportTarget(tgt string, before *serverStats, prefix bool) error {
 		if hits+misses > 0 {
 			rate = float64(hits) / float64(hits+misses)
 		}
-		fmt.Printf("%sserver block cache: %.1f%% hub-block hit rate this run (%d blocks, %.2f MB held, %d disk loads lifetime)\n",
+		fmt.Fprintf(out, "%sserver block cache: %.1f%% hub-block hit rate this run (%d blocks, %.2f MB held, %d disk loads lifetime)\n",
 			pfx, rate*100, bc.Entries, float64(bc.Bytes)/(1<<20), bc.Loads)
 	}
 	if after.Cluster != nil {
-		fmt.Printf("%scluster: %d/%d shards healthy\n", pfx, after.Cluster.ShardsHealthy, len(after.Cluster.Shards))
+		fmt.Fprintf(out, "%scluster: %d/%d shards healthy\n", pfx, after.Cluster.ShardsHealthy, len(after.Cluster.Shards))
 		for _, sh := range after.Cluster.Shards {
-			fmt.Printf("%s  shard %d %s: healthy=%v requests=%d failures=%d mean=%.2fms\n",
+			fmt.Fprintf(out, "%s  shard %d %s: healthy=%v requests=%d failures=%d mean=%.2fms\n",
 				pfx, sh.Shard, sh.Target, sh.Healthy, sh.Requests, sh.Failures, sh.MeanLatencyMS)
 		}
 	}
-	fmt.Printf("%sserver admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
+	fmt.Fprintf(out, "%sserver admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",
 		pfx, after.Admission.Admitted, after.Admission.Degraded, after.Coalesced)
 	return nil
 }

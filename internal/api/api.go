@@ -17,6 +17,13 @@ import (
 	"fastppv/internal/sparse"
 )
 
+// TraceHeader carries the per-query trace ID across the cluster: the serving
+// layer mints one per traced request, the router forwards it on every
+// /v1/partial leg, and shards echo it back (and key their structured logs on
+// it), so one routed query can be followed end to end through the logs of
+// every process it touched.
+const TraceHeader = "X-Fastppv-Trace"
+
 // NormalizeTarget canonicalizes a shard/daemon address as accepted by the
 // CLIs and the router: surrounding space and trailing slashes are dropped and
 // a bare host:port gets the http scheme. It returns an error for a blank

@@ -1,0 +1,119 @@
+// Package benchfmt defines the BENCH_*.json schema shared by the standing
+// benchmark harness (ppvbench -serve) and the ad-hoc load generator
+// (ppvload -json). Every PR leaves a BENCH_<n>.json at the repo root in this
+// format, so the performance trajectory of the serving stack — throughput,
+// tail latency, warm-read cost, reported error bounds — is a diffable series
+// rather than a claim in a PR description.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Schema is the format identifier stamped into every report.
+const Schema = "fastppv-bench/v1"
+
+// Report is one benchmark run. Fields that a given harness cannot measure are
+// zero and omitted: ppvload has no disk-store access, so it leaves the
+// read-cost fields empty; a pure engine run has no cluster section.
+type Report struct {
+	Schema string `json:"schema"`
+	// Source names the producing harness: "ppvbench-serve" or "ppvload".
+	Source string `json:"source"`
+	// Mode is "engine" or "router", matching the trace block's mode.
+	Mode      string    `json:"mode"`
+	Timestamp time.Time `json:"timestamp"`
+
+	Graph    GraphInfo    `json:"graph"`
+	Workload WorkloadInfo `json:"workload"`
+
+	// QPS is successful requests per wall-clock second across all workers.
+	QPS       float64     `json:"qps"`
+	LatencyMS Percentiles `json:"latency_ms"`
+	// BytesPerQuery is the mean HTTP response body size of successful
+	// queries.
+	BytesPerQuery float64 `json:"bytes_per_query"`
+	// ErrorBound summarizes the exact L1 error bound reported per response.
+	ErrorBound Percentiles `json:"error_bound"`
+
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Failures     int     `json:"failures"`
+
+	// WarmReadNS / ColdReadNS are mean per-hub-block read costs against the
+	// on-disk index with the block cache warm and disabled respectively
+	// (ppvbench -serve only).
+	WarmReadNS float64 `json:"warm_read_ns,omitempty"`
+	ColdReadNS float64 `json:"cold_read_ns,omitempty"`
+}
+
+// GraphInfo describes the dataset the run was served from.
+type GraphInfo struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges,omitempty"`
+	Hubs  int `json:"hubs,omitempty"`
+}
+
+// WorkloadInfo describes the client side of the run.
+type WorkloadInfo struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	ZipfS       float64 `json:"zipf_s,omitempty"`
+	Eta         int     `json:"eta"`
+	Top         int     `json:"top"`
+}
+
+// Percentiles is the five-point summary used for both latencies and error
+// bounds.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+	N   int     `json:"n"`
+}
+
+// Summarize computes the percentile summary of xs. It sorts a copy; an empty
+// input yields the zero summary.
+func Summarize(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	at := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	return Percentiles{
+		P50: at(0.50), P90: at(0.90), P99: at(0.99),
+		Max: s[len(s)-1], N: len(s),
+	}
+}
+
+// SummarizeDurations is Summarize over latencies, reported in milliseconds.
+func SummarizeDurations(ds []time.Duration) Percentiles {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d) / 1e6
+	}
+	return Summarize(xs)
+}
+
+// WriteFile writes the report as indented JSON; "-" writes to stdout.
+func WriteFile(path string, r *Report) error {
+	r.Schema = Schema
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("writing bench report: %w", err)
+	}
+	return nil
+}

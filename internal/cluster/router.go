@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
 	"fastppv/internal/sparse"
+	"fastppv/internal/telemetry"
 )
 
 // RouterConfig configures a shard router.
@@ -47,6 +50,13 @@ type RouterConfig struct {
 	// means 2s, negative disables the probe (health then only changes
 	// passively, on request outcomes).
 	HealthInterval time.Duration
+	// Registry optionally receives the router's metrics (per-shard leg
+	// latency, query outcomes, and a scrape-time collector for epochs and
+	// health); nil records into a private, unexported registry.
+	Registry *telemetry.Registry
+	// Logger optionally receives structured router logs (health transitions,
+	// epoch raises, update fan-outs, traced queries); nil discards them.
+	Logger *slog.Logger
 }
 
 // Router fans PPV queries out across hub-partitioned shards and aggregates
@@ -61,6 +71,8 @@ type Router struct {
 	// only thing that can restore them), trading bounded tail latency for
 	// liveness.
 	passive bool
+	logger  *slog.Logger
+	met     routerMetrics
 
 	numNodes atomic.Int64
 	// clusterEpoch is the highest index epoch the router has observed on any
@@ -93,6 +105,10 @@ type shardClient struct {
 	retries   atomic.Int64
 	latencyUS atomic.Int64
 	maxUS     atomic.Int64
+
+	// leg is the shard's pre-resolved latency histogram child, so the hot
+	// path never touches the registry's label map.
+	leg *telemetry.Histogram
 }
 
 // setEpoch records the shard's last observed epoch.
@@ -112,6 +128,7 @@ func (s *shardClient) observe(d time.Duration, failed bool) {
 	if failed {
 		s.failures.Add(1)
 	}
+	s.leg.ObserveDuration(d)
 	us := d.Microseconds()
 	s.latencyUS.Add(us)
 	for {
@@ -140,11 +157,21 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 	r := &Router{
 		part:       core.Partition{Shards: len(cfg.Targets)},
 		client:     client,
 		timeout:    cfg.RequestTimeout,
 		passive:    cfg.HealthInterval < 0,
+		logger:     logger,
+		met:        newRouterMetrics(reg),
 		stopHealth: make(chan struct{}),
 	}
 	r.clusterEpoch.Store(-1)
@@ -153,10 +180,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard target at position %d: %w", i, err)
 		}
-		s := &shardClient{index: i, target: target}
+		s := &shardClient{index: i, target: target, leg: r.met.legLatency.With(strconv.Itoa(i))}
 		s.epoch.Store(-1)
 		r.shards = append(r.shards, s)
 	}
+	r.registerCollector(reg)
 	r.probeAll()
 	if cfg.HealthInterval > 0 {
 		r.healthWG.Add(1)
@@ -207,9 +235,22 @@ func (r *Router) ClusterEpoch() (uint64, bool) {
 func (r *Router) observeEpoch(e uint64) {
 	for {
 		old := r.clusterEpoch.Load()
-		if int64(e) <= old || r.clusterEpoch.CompareAndSwap(old, int64(e)) {
+		if int64(e) <= old {
 			return
 		}
+		if r.clusterEpoch.CompareAndSwap(old, int64(e)) {
+			r.logger.Info("cluster epoch raised", "epoch", e, "previous", old)
+			return
+		}
+	}
+}
+
+// setShardHealth flips a shard's health state, logging the transition (only
+// actual transitions: steady-state probes are silent).
+func (r *Router) setShardHealth(s *shardClient, healthy bool) {
+	if s.healthy.Swap(healthy) != healthy {
+		r.logger.Info("shard health changed",
+			"shard", s.index, "target", s.target, "healthy", healthy)
 	}
 }
 
@@ -222,7 +263,7 @@ func (r *Router) probeAll() {
 		wg.Add(1)
 		go func(s *shardClient) {
 			defer wg.Done()
-			s.healthy.Store(r.probe(s))
+			r.setShardHealth(s, r.probe(s))
 		}(s)
 	}
 	wg.Wait()
@@ -315,36 +356,36 @@ func shardFault(err error) bool {
 // failure marks the shard unhealthy (the background probe restores it); a
 // success marks it healthy, which is what brings a shard back in passive
 // mode.
-func (r *Router) partial(s *shardClient, preq *api.PartialRequest) (*api.PartialResponse, error) {
+func (r *Router) partial(s *shardClient, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
 	body, err := json.Marshal(preq)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	resp, err := r.partialOnce(s, body)
+	resp, err := r.partialOnce(s, body, traceID)
 	if aerr, ok := err.(*api.Error); ok && aerr.Code == api.CodeRetry {
 		s.retries.Add(1)
-		resp, err = r.partialOnce(s, body)
+		resp, err = r.partialOnce(s, body, traceID)
 	}
 	s.observe(time.Since(start), err != nil)
 	if err != nil {
 		if shardFault(err) {
-			s.healthy.Store(false)
+			r.setShardHealth(s, false)
 		}
 		return nil, err
 	}
 	if resp.Shards != len(r.shards) || resp.Shard != s.index {
-		s.healthy.Store(false)
+		r.setShardHealth(s, false)
 		return nil, fmt.Errorf("cluster: target %s answers as shard %d/%d, expected %d/%d: shard map misconfigured",
 			s.target, resp.Shard, resp.Shards, s.index, len(r.shards))
 	}
 	s.setEpoch(resp.Epoch)
 	r.observeEpoch(resp.Epoch)
-	s.healthy.Store(true)
+	r.setShardHealth(s, true)
 	return resp, nil
 }
 
-func (r *Router) partialOnce(s *shardClient, body []byte) (*api.PartialResponse, error) {
+func (r *Router) partialOnce(s *shardClient, body []byte, traceID string) (*api.PartialResponse, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.target+"/v1/partial", bytes.NewReader(body))
@@ -352,6 +393,9 @@ func (r *Router) partialOnce(s *shardClient, body []byte) (*api.PartialResponse,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(api.TraceHeader, traceID)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -409,6 +453,11 @@ type Result struct {
 	// RootFromIndex reports whether iteration 0 was served from a stored
 	// prime PPV (the query node is a hub) rather than computed on the fly.
 	RootFromIndex bool
+	// Spans holds one trace span per processed iteration (including iteration
+	// 0), each with one leg entry per shard sub-request. Always collected:
+	// the cost is bounded by iterations x shards, negligible next to the
+	// network round trips themselves.
+	Spans []IterationSpan
 	// Duration is the end-to-end routed query time.
 	Duration time.Duration
 }
@@ -424,12 +473,21 @@ func (res *Result) TopK(k int) []sparse.Entry { return res.Estimate.TopK(k) }
 // Failures degrade instead of erroring: the query only fails outright when no
 // shard at all can answer iteration 0.
 func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error) {
+	return r.QueryTrace(q, stop, "")
+}
+
+// QueryTrace is Query with an end-to-end trace ID: the ID travels to every
+// shard sub-request in the api.TraceHeader header — shards key their logs on
+// it — and the returned result's Spans tie the per-iteration timings back to
+// the same ID. An empty traceID sends no header.
+func (r *Router) QueryTrace(q graph.NodeID, stop core.StopCondition, traceID string) (*Result, error) {
 	started := time.Now()
 	res := &Result{Query: q}
 	downShards := make(map[int]struct{})
 	staleShards := make(map[int]struct{})
 
-	root, rootShard, err := r.root(q, downShards, staleShards, res)
+	span := IterationSpan{Iteration: 0}
+	root, rootShard, err := r.root(q, downShards, staleShards, res, traceID, &span)
 	if err != nil {
 		return nil, err
 	}
@@ -456,6 +514,11 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 	res.Estimate = estimate
 	mass := estimate.SumOrdered()
 	res.L1ErrorBound = 1 - mass
+	span.FrontierSize = len(frontier)
+	span.MassAdded = mass
+	span.L1ErrorBound = res.L1ErrorBound
+	span.DurationMS = float64(time.Since(started)) / 1e6
+	res.Spans = append(res.Spans, span)
 
 	maxIter := stop.EffectiveMaxIterations()
 	for iter := 1; iter <= maxIter; iter++ {
@@ -468,7 +531,8 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 		if len(frontier) == 0 {
 			break
 		}
-		merged, nextFrontier := r.expand(frontier, iter, res, downShards, staleShards)
+		iterStart := time.Now()
+		merged, nextFrontier, span := r.expand(frontier, iter, res, downShards, staleShards, traceID)
 		massAdded := merged.SumOrdered()
 		estimate.AddVector(merged)
 		mass += massAdded
@@ -476,6 +540,10 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 		res.Iterations = iter
 		res.L1ErrorBound = 1 - mass
 		frontier = nextFrontier
+		span.MassAdded = massAdded
+		span.L1ErrorBound = res.L1ErrorBound
+		span.DurationMS = float64(time.Since(iterStart)) / 1e6
+		res.Spans = append(res.Spans, span)
 		if massAdded == 0 && res.L1ErrorBound >= prev {
 			break
 		}
@@ -486,6 +554,14 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 		res.Degraded = true
 	}
 	res.Duration = time.Since(started)
+	r.met.observeQuery(res)
+	if traceID != "" {
+		r.logger.Debug("routed query traced",
+			"trace_id", traceID, "query", int(q), "iterations", res.Iterations,
+			"l1_error_bound", res.L1ErrorBound, "degraded", res.Degraded,
+			"shards_down", res.ShardsDown, "shards_behind", res.ShardsBehind,
+			"epoch", res.Epoch, "duration_ms", float64(res.Duration)/1e6)
+	}
 	return res, nil
 }
 
@@ -498,7 +574,7 @@ func (r *Router) Query(q graph.NodeID, stop core.StopCondition) (*Result, error)
 // is serving a graph that has since been updated, so its root is only used as
 // a last resort (the freshest such answer, with the response flagged
 // degraded) when no shard at the current epoch can answer at all.
-func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result) (*api.PartialResponse, int, error) {
+func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result, traceID string, span *IterationSpan) (*api.PartialResponse, int, error) {
 	owner := r.part.Owner(q)
 	order := make([]*shardClient, 0, len(r.shards))
 	order = append(order, r.shards[owner])
@@ -516,7 +592,15 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result)
 		behind  = make(map[int]*api.PartialResponse)
 	)
 	for _, s := range order {
-		resp, err := r.partial(s, &api.PartialRequest{Query: &q})
+		legStart := time.Now()
+		resp, err := r.partial(s, &api.PartialRequest{Query: &q}, traceID)
+		leg := ShardLegSpan{Shard: s.index, DurationMS: float64(time.Since(legStart)) / 1e6}
+		if err != nil {
+			leg.Error = err.Error()
+		} else {
+			leg.Epoch = resp.Epoch
+		}
+		span.Legs = append(span.Legs, leg)
 		if err != nil {
 			// Only a shard fault excludes the shard from the rest of this
 			// query; a shed (overloaded) sub-request may well be accepted at
@@ -576,7 +660,8 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result)
 // shard's and the shard is skipped for the rest of this query. Unlike a
 // fault, divergence does not mark the shard unhealthy — it is alive and
 // answering, just inconsistent with the cluster.
-func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down, stale map[int]struct{}) (sparse.Vector, map[graph.NodeID]float64) {
+func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down, stale map[int]struct{}, traceID string) (sparse.Vector, map[graph.NodeID]float64, IterationSpan) {
+	span := IterationSpan{Iteration: iter, FrontierSize: len(frontier)}
 	groups := make([]map[graph.NodeID]float64, len(r.shards))
 	for h, w := range frontier {
 		owner := r.part.Owner(h)
@@ -588,6 +673,8 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 
 	replies := make([]*api.PartialResponse, len(r.shards))
 	errs := make([]error, len(r.shards))
+	durs := make([]time.Duration, len(r.shards))
+	attempted := make([]bool, len(r.shards))
 	var wg sync.WaitGroup
 	for i, group := range groups {
 		if group == nil {
@@ -605,13 +692,16 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 			errs[i] = fmt.Errorf("cluster: shard %d (%s) is down", i, s.target)
 			continue
 		}
+		attempted[i] = true
 		wg.Add(1)
 		go func(i int, group map[graph.NodeID]float64) {
 			defer wg.Done()
+			legStart := time.Now()
 			replies[i], errs[i] = r.partial(r.shards[i], &api.PartialRequest{
 				Frontier:  ptr(api.EncodeMap(group)),
 				Iteration: iter,
-			})
+			}, traceID)
+			durs[i] = time.Since(legStart)
 		}(i, group)
 	}
 	wg.Wait()
@@ -625,6 +715,15 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 		if group == nil {
 			continue
 		}
+		leg := ShardLegSpan{Shard: i, Hubs: len(group), DurationMS: float64(durs[i]) / 1e6, Skipped: !attempted[i]}
+		if errs[i] != nil {
+			leg.Error = errs[i].Error()
+		} else if replies[i] != nil {
+			leg.Epoch = replies[i].Epoch
+		} else if leg.Skipped {
+			leg.Error = "epoch-divergent in this query"
+		}
+		span.Legs = append(span.Legs, leg)
 		// foldGroup accounts a sub-request that contributed nothing: its
 		// prefix mass goes unexpanded, the exact bound widens by exactly that
 		// much, and the answer is degraded.
@@ -686,7 +785,7 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 			res.Degraded = true
 		}
 	}
-	return merged, next
+	return merged, next, span
 }
 
 func ptr[T any](v T) *T { return &v }
@@ -778,7 +877,7 @@ func (r *Router) Update(req api.UpdateRequest) (*ClusterUpdate, error) {
 					out.Error = err.Error()
 				}
 				if shardFault(err) {
-					s.healthy.Store(false)
+					r.setShardHealth(s, false)
 				}
 			} else {
 				s.setEpoch(resp.Epoch)
@@ -796,12 +895,18 @@ func (r *Router) Update(req api.UpdateRequest) (*ClusterUpdate, error) {
 	}
 	cu.Duration = time.Since(start)
 	if cu.Applied == 0 {
+		r.logger.Warn("update fan-out applied on no shard",
+			"epoch", clusterEpoch, "shards", len(r.shards), "duration_ms", float64(cu.Duration)/1e6)
 		if firstErr != nil {
 			return nil, fmt.Errorf("cluster: update applied on no shard: %w", firstErr)
 		}
 		return nil, &api.Error{Code: api.CodeUnavailable, Message: "cluster: update applied on no shard"}
 	}
 	cu.Epoch = clusterEpoch + 1
+	r.logger.Info("update fan-out applied",
+		"epoch", cu.Epoch, "shards_applied", cu.Applied,
+		"shards_failed", len(cu.Results)-cu.Applied, "degraded", cu.Degraded(),
+		"duration_ms", float64(cu.Duration)/1e6)
 	return cu, nil
 }
 

@@ -19,6 +19,10 @@ type IterationStat struct {
 	HubsExpanded int
 	// HubsSkipped counts candidate hubs pruned by the delta threshold.
 	HubsSkipped int
+	// FrontierSize is the number of border hubs in the frontier this iteration
+	// expanded (candidates before delta pruning); for iteration 0 it is the
+	// size of the frontier the root produced for iteration 1.
+	FrontierSize int
 	// MassAdded is the total score mass contributed by this iteration's PPV
 	// increment; Theorem 2 predicts it shrinks exponentially with the
 	// iteration number.
@@ -179,6 +183,7 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 			Iteration:    0,
 			MassAdded:    qs.mass,
 			L1ErrorBound: bound,
+			FrontierSize: len(qs.frontier),
 			Duration:     time.Since(started),
 		}},
 	}
@@ -220,7 +225,7 @@ func (qs *QueryState) Step() IterationStat {
 	e := qs.engine
 	iterStart := time.Now()
 	qs.iteration++
-	stat := IterationStat{Iteration: qs.iteration}
+	stat := IterationStat{Iteration: qs.iteration, FrontierSize: len(qs.frontier)}
 
 	if len(qs.frontier) == 0 {
 		stat.L1ErrorBound = qs.result.L1ErrorBound

@@ -1,0 +1,159 @@
+// metrics.go is the server's Prometheus surface: the hot-path metric handles
+// (pre-resolved at wiring time so a request never touches the registry's
+// label maps) and the scrape-time collectors that export the stats structs
+// the server already keeps — cache, admission, coalescing, block cache,
+// durability — at zero per-request cost. GET /metrics renders the shared
+// telemetry.Registry in the Prometheus text format; in router mode the
+// cluster.Router contributes its shard-leg and epoch families to the same
+// registry (see internal/cluster/telemetry.go).
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"fastppv/internal/telemetry"
+)
+
+// serverMetrics holds the handles the request path observes into. Everything
+// else (cache hit/miss counters, admission outcomes, index durability) is
+// read off the existing stats structs by the collectors below, only when
+// /metrics is scraped.
+type serverMetrics struct {
+	httpLatency  *telemetry.HistogramVec
+	httpRequests *telemetry.CounterVec
+
+	queriesComputed *telemetry.Counter
+	queriesDegraded *telemetry.Counter
+	queryIterations *telemetry.Histogram
+	queryBound      *telemetry.Histogram
+	hubsExpanded    *telemetry.Counter
+	hubsSkipped     *telemetry.Counter
+	tracedQueries   *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		httpLatency: reg.HistogramVec("fastppv_http_request_seconds",
+			"HTTP request latency by endpoint.", telemetry.DefLatencyBuckets, "endpoint"),
+		httpRequests: reg.CounterVec("fastppv_http_requests_total",
+			"HTTP requests by endpoint and status class.", "endpoint", "code"),
+		queriesComputed: reg.Counter("fastppv_queries_computed_total",
+			"Queries that reached the engine or router (cache misses and traced queries)."),
+		queriesDegraded: reg.Counter("fastppv_queries_degraded_total",
+			"Computed queries answered on the degradation path (admission pressure or cluster faults)."),
+		queryIterations: reg.Histogram("fastppv_query_iterations",
+			"Expansion iterations per computed query (0 = iteration 0 only).",
+			telemetry.LinearBuckets(0, 1, 9)),
+		queryBound: reg.Histogram("fastppv_query_l1_error_bound",
+			"Exact L1 error bound at stop, per computed query.", telemetry.DefBoundBuckets),
+		hubsExpanded: reg.Counter("fastppv_hubs_expanded_total",
+			"Hub prime PPVs assembled across all computed queries."),
+		hubsSkipped: reg.Counter("fastppv_hubs_skipped_total",
+			"Candidate hubs pruned by the delta threshold across all computed queries."),
+		tracedQueries: reg.Counter("fastppv_traced_queries_total",
+			"Queries served with ?trace=1 (computed fresh, never cached)."),
+	}
+}
+
+// observeQuery records the end-of-computation metrics shared by the engine
+// and router paths of compute/computeTraced.
+func (m *serverMetrics) observeQuery(iterations int, bound float64, hubsExpanded, hubsSkipped int, degraded bool) {
+	m.queriesComputed.Inc()
+	if degraded {
+		m.queriesDegraded.Inc()
+	}
+	m.queryIterations.Observe(float64(iterations))
+	m.queryBound.Observe(bound)
+	m.hubsExpanded.Add(float64(hubsExpanded))
+	m.hubsSkipped.Add(float64(hubsSkipped))
+}
+
+// registerCollectors exports the server's point-in-time state. Called once
+// from New/NewRouter after the backend is attached; every emitted sample is
+// computed at scrape time from state the server maintains anyway.
+func (s *Server) registerCollectors(reg *telemetry.Registry) {
+	reg.Collect(func(e *telemetry.Emitter) {
+		e.Counter("fastppv_coalesced_total",
+			"Requests answered by sharing another request's in-flight computation.",
+			float64(s.flights.Coalesced()))
+		e.Counter("fastppv_updates_applied_total",
+			"Graph-update batches accepted by this server.", float64(s.updates.Load()))
+		adm := s.adm.stats()
+		e.Counter("fastppv_admission_admitted_total", "Computations granted a full-accuracy slot.", float64(adm.Admitted))
+		e.Counter("fastppv_admission_degraded_total", "Computations downgraded to the degradation pool.", float64(adm.Degraded))
+		e.Counter("fastppv_admission_shed_total", "Requests rejected with 503: both pools full.", float64(adm.Shed))
+		e.Gauge("fastppv_admission_in_flight", "Full-accuracy computations currently running.", float64(adm.InFlight))
+		e.Gauge("fastppv_admission_in_flight_degraded", "Degraded computations currently running.", float64(adm.InFlightDegraded))
+		e.Gauge("fastppv_admission_max_concurrent", "Full-accuracy slot capacity.", float64(adm.MaxConcurrent))
+		if s.cache != nil {
+			cs := s.cache.Stats()
+			e.Counter("fastppv_cache_hits_total", "Result-cache hits.", float64(cs.Hits))
+			e.Counter("fastppv_cache_misses_total", "Result-cache misses.", float64(cs.Misses))
+			e.Counter("fastppv_cache_puts_total", "Result-cache fills.", float64(cs.Puts))
+			e.Counter("fastppv_cache_evictions_total", "Result-cache entries evicted under the byte budget.", float64(cs.Evictions))
+			e.Counter("fastppv_cache_invalidations_total", "Result-cache entries dropped by update invalidation.", float64(cs.Invalidations))
+			e.Gauge("fastppv_cache_entries", "Result-cache entries resident.", float64(cs.Entries))
+			e.Gauge("fastppv_cache_bytes", "Result-cache bytes resident.", float64(cs.Bytes))
+			e.Gauge("fastppv_cache_budget_bytes", "Result-cache byte budget.", float64(cs.BudgetBytes))
+		}
+		if s.engine == nil {
+			return
+		}
+		s.mu.RLock()
+		g := s.engine.Graph()
+		nodes, edges := g.NumNodes(), g.NumEdges()
+		epoch := s.engine.Epoch()
+		off := s.engine.OfflineStats()
+		index := s.engine.Index()
+		s.mu.RUnlock()
+		e.Gauge("fastppv_index_epoch", "Index epoch: graph-update batches folded into the served state.", float64(epoch))
+		e.Gauge("fastppv_graph_nodes", "Nodes in the served graph.", float64(nodes))
+		e.Gauge("fastppv_graph_edges", "Edges in the served graph.", float64(edges))
+		e.Gauge("fastppv_index_hubs", "Hubs with a precomputed prime PPV.", float64(off.Hubs))
+		e.Gauge("fastppv_index_bytes", "Estimated bytes of the hub index.", float64(off.IndexBytes))
+		if bcs, ok := index.(blockCacheStatser); ok {
+			if st, enabled := bcs.BlockCacheStats(); enabled {
+				e.Counter("fastppv_block_cache_hits_total", "Hub reads answered from the block cache.", float64(st.Hits))
+				e.Counter("fastppv_block_cache_misses_total", "Hub reads that went to the disk index.", float64(st.Misses))
+				e.Counter("fastppv_block_cache_coalesced_total", "Hub reads that shared another read's in-flight load.", float64(st.Coalesced))
+				e.Counter("fastppv_block_cache_loads_total", "Actual disk-index reads.", float64(st.Loads))
+				e.Counter("fastppv_block_cache_evictions_total", "Cached hub blocks evicted under the byte budget.", float64(st.Evictions))
+				e.Gauge("fastppv_block_cache_entries", "Hub blocks resident in the block cache.", float64(st.Entries))
+				e.Gauge("fastppv_block_cache_bytes", "Bytes resident in the block cache.", float64(st.Bytes))
+			}
+		}
+		if dss, ok := index.(durabilityStatser); ok {
+			if st, enabled := dss.DurabilityStats(); enabled {
+				e.Counter("fastppv_wal_records_total", "Records appended to the index update log.", float64(st.LogRecords))
+				e.Gauge("fastppv_wal_bytes", "Bytes in the index update log.", float64(st.LogBytes))
+				e.Counter("fastppv_graphlog_records_total", "Graph-update batches appended to the graph-mutation log.", float64(st.GraphLogRecords))
+				e.Gauge("fastppv_graphlog_bytes", "Bytes in the graph-mutation log.", float64(st.GraphLogBytes))
+				e.Counter("fastppv_compactions_total", "Completed disk-index compactions.", float64(st.Compactions))
+				e.Gauge("fastppv_overlay_hubs", "Hubs currently served from the in-memory overlay.", float64(st.OverlayHubs))
+			}
+		}
+	})
+}
+
+// statusWriter captures the response status for the per-endpoint request
+// counter; handlers that never call WriteHeader answered 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClasses pre-resolves the status-class counter children of one
+// endpoint, so the hot path indexes an array instead of formatting labels.
+func (m *serverMetrics) statusClasses(endpoint string) [6]*telemetry.Counter {
+	var out [6]*telemetry.Counter
+	for c := 1; c <= 5; c++ {
+		out[c] = m.httpRequests.With(endpoint, strconv.Itoa(c)+"xx")
+	}
+	return out
+}

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -57,6 +58,7 @@ import (
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
 	"fastppv/internal/ppvindex"
+	"fastppv/internal/telemetry"
 )
 
 // Config tunes the serving layers. The zero value serves with sensible
@@ -91,6 +93,14 @@ type Config struct {
 	// disk-serving shard does not answer its first requests at cold-read
 	// latency. It is a no-op for in-memory indexes and cache-less stores.
 	WarmHubs int
+	// Registry optionally receives the server's metrics and is served on
+	// GET /metrics; nil creates a private registry (the endpoint still works).
+	// In router mode, pass the same registry to the cluster.RouterConfig so
+	// shard-leg and epoch metrics land on the same scrape surface.
+	Registry *telemetry.Registry
+	// Logger optionally receives structured request logs (traced queries,
+	// partial sub-requests); nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -151,10 +161,13 @@ type Server struct {
 	// router has no local mutable state).
 	mu sync.RWMutex
 
-	hists   map[string]*Histogram
-	started time.Time
-	updates atomic.Int64
-	warmed  WarmStats
+	hists    map[string]*Histogram
+	registry *telemetry.Registry
+	metrics  *serverMetrics
+	logger   *slog.Logger
+	started  time.Time
+	updates  atomic.Int64
+	warmed   WarmStats
 	// inconsistent is set when an ApplyUpdate fails after the point of no
 	// return: the engine may mix old and new state, so health checks flip to
 	// failing until an operator intervenes (restart or full Precompute).
@@ -174,6 +187,14 @@ type WarmStats struct {
 }
 
 func newServer(cfg Config) *Server {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 	s := &Server{
 		cfg:     cfg,
 		flights: newFlightGroup(),
@@ -186,7 +207,10 @@ func newServer(cfg Config) *Server {
 			"compact": {},
 			"partial": {},
 		},
-		started: time.Now(),
+		registry: reg,
+		metrics:  newServerMetrics(reg),
+		logger:   logger,
+		started:  time.Now(),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheBytes, cfg.CacheShards)
@@ -204,6 +228,7 @@ func New(engine *core.Engine, cfg Config) (*Server, error) {
 	}
 	s := newServer(cfg.withDefaults())
 	s.engine = engine
+	s.registerCollectors(s.registry)
 	s.warm()
 	return s, nil
 }
@@ -218,6 +243,7 @@ func NewRouter(rt *cluster.Router, cfg Config) (*Server, error) {
 	}
 	s := newServer(cfg.withDefaults())
 	s.router = rt
+	s.registerCollectors(s.registry)
 	return s, nil
 }
 
@@ -253,7 +279,11 @@ func (s *Server) warm() {
 	s.warmed.DurationMS = float64(time.Since(start)) / 1e6
 }
 
-// Handler returns the HTTP handler exposing the API.
+// Handler returns the HTTP handler exposing the API. GET /metrics and
+// GET /healthz are deliberately mounted outside instrument: scrapes and
+// health probes are periodic background traffic whose latency would only
+// dilute the request histograms, and keeping them out guarantees the metrics
+// surface can never instrument itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/ppv", s.instrument("ppv", s.handlePPV))
@@ -262,17 +292,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("POST /v1/compact", s.instrument("compact", s.handleCompact))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /metrics", s.registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
-// instrument records per-endpoint latency into the named histogram.
+// instrumentedEndpoints is the closed allowlist of endpoint label values.
+// instrument refuses any name outside it at wiring time, so the "endpoint"
+// label can never grow unboundedly (e.g. by someone instrumenting a handler
+// with a per-request-derived name).
+var instrumentedEndpoints = map[string]bool{
+	"ppv": true, "batch": true, "partial": true,
+	"update": true, "compact": true, "stats": true,
+}
+
+// instrument records per-endpoint latency (into both the legacy /v1/stats
+// histogram and the Prometheus registry) and per-status-class request counts.
+// All metric children are resolved here, at wiring time — the per-request
+// cost is two histogram observations and one counter increment.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	if !instrumentedEndpoints[name] {
+		panic(fmt.Sprintf("server: endpoint %q is not in the instrumentation allowlist", name))
+	}
 	hist := s.hists[name]
+	lat := s.metrics.httpLatency.With(name)
+	classes := s.metrics.statusClasses(name)
 	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(w, r)
-		hist.Observe(time.Since(start))
+		h(sw, r)
+		d := time.Since(start)
+		hist.Observe(d)
+		lat.ObserveDuration(d)
+		if c := sw.status / 100; c >= 1 && c <= 5 {
+			classes[c].Inc()
+		}
 	}
 }
 
@@ -301,6 +355,11 @@ type QueryResponse struct {
 	LostErrorMass float64      `json:"lost_error_mass,omitempty"`
 	L1ErrorBound  float64      `json:"l1_error_bound"`
 	Results       []ScoredNode `json:"results"`
+	// Trace carries the per-iteration spans of a ?trace=1 request. It is the
+	// one deliberately volatile member of the body: traced answers are
+	// computed fresh, never cached and never coalesced, so the determinism
+	// promise for cacheable bodies is unaffected.
+	Trace *TraceBlock `json:"trace,omitempty"`
 }
 
 // queryRequest is one parsed and clamped query.
@@ -479,6 +538,7 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 			shardsBehind: cres.ShardsBehind,
 			lostMass:     cres.LostFrontierMass,
 		}
+		s.metrics.observeQuery(cres.Iterations, cres.L1ErrorBound, cres.HubsExpanded, cres.HubsSkipped, ans.degraded)
 		// Cluster-degraded answers carry a bound widened by lost shards; they
 		// must not outlive the outage in the cache. An answer evaluated at a
 		// newer epoch than the key's (an update raced this query) is left
@@ -498,6 +558,7 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 	}
 	res := qs.Run(stop)
 	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
+	s.observeEngineResult(res, degraded)
 	if s.cache != nil && !degraded {
 		s.cache.Put(key, ans)
 	}
@@ -550,6 +611,29 @@ func (s *Server) handlePPV(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parseQuery(params)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if wantTrace(r) {
+		traceID := r.Header.Get(api.TraceHeader)
+		if traceID == "" {
+			traceID = newTraceID()
+		}
+		ans, tb, err := s.computeTraced(req, traceID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set(api.TraceHeader, traceID)
+		w.Header().Set("X-Fastppv-Cache", string(cacheBypass))
+		w.Header().Set("X-Fastppv-Compute-Ms",
+			strconv.FormatFloat(float64(ans.result.Duration)/1e6, 'f', 3, 64))
+		resp := s.render(req, ans)
+		resp.Trace = tb
+		s.logger.Info("traced query",
+			"trace_id", traceID, "node", resp.Node, "iterations", resp.Iterations,
+			"l1_error_bound", resp.L1ErrorBound, "degraded", resp.Degraded,
+			"mode", tb.Mode, "duration_ms", tb.DurationMS)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	ans, state, err := s.answer(req)
@@ -696,6 +780,15 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	shards := p.Shards
 	if shards < 2 {
 		shards = 1
+	}
+	// Echo the router's trace ID so a traced routed query can be correlated
+	// with this shard's logs, and key the shard-side log record on it.
+	if tid := r.Header.Get(api.TraceHeader); tid != "" {
+		w.Header().Set(api.TraceHeader, tid)
+		s.logger.Debug("partial served",
+			"trace_id", tid, "shard", p.Shard, "iteration", preq.Iteration,
+			"epoch", epoch, "hubs_expanded", part.HubsExpanded,
+			"duration_ms", float64(time.Since(start))/1e6)
 	}
 	writeJSON(w, http.StatusOK, api.PartialResponse{
 		Shard:        p.Shard,

@@ -1,0 +1,185 @@
+// trace.go implements per-query tracing: a request ID minted here (or taken
+// from an incoming X-Fastppv-Trace header), propagated to every shard leg by
+// the cluster router, and a per-iteration span report returned in the
+// response's "trace" block when the client asks with ?trace=1.
+//
+// Traced requests bypass the result cache and the flight group — a trace must
+// describe the computation this request performed, not one some earlier
+// request performed — and their answers are never cached, so the cacheable
+// response bodies stay a deterministic function of the query parameters.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fastppv/internal/api"
+	"fastppv/internal/cluster"
+	"fastppv/internal/core"
+)
+
+// TraceSpan is one per-iteration span of a traced query. Engine-mode spans
+// carry hub expansion counts; router-mode spans carry per-shard leg timings.
+type TraceSpan struct {
+	Iteration    int     `json:"iteration"`
+	FrontierSize int     `json:"frontier_size"`
+	HubsExpanded int     `json:"hubs_expanded,omitempty"`
+	HubsSkipped  int     `json:"hubs_skipped,omitempty"`
+	MassAdded    float64 `json:"mass_added"`
+	L1ErrorBound float64 `json:"l1_error_bound"`
+	DurationMS   float64 `json:"duration_ms"`
+	// Legs are the shard sub-requests of this iteration (router mode only).
+	Legs []cluster.ShardLegSpan `json:"legs,omitempty"`
+}
+
+// TraceBlock is the "trace" member of a ?trace=1 query response.
+type TraceBlock struct {
+	TraceID string `json:"trace_id"`
+	// Mode is "engine" (local computation) or "router" (scatter-gather).
+	Mode       string      `json:"mode"`
+	DurationMS float64     `json:"duration_ms"`
+	Iterations []TraceSpan `json:"iterations"`
+}
+
+// Trace IDs are a per-process random prefix plus an atomic counter: unique
+// across a deployment with overwhelming probability, and cheap enough (two
+// atomic ops, no crypto per request) to never show up on the hot path.
+var (
+	traceSeq    atomic.Uint64
+	tracePrefix = func() string {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "fastppv"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+func newTraceID() string {
+	return tracePrefix + "-" + strconv.FormatUint(traceSeq.Add(1), 16)
+}
+
+// wantTrace reports whether the request opted into tracing.
+func wantTrace(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
+// spansFromCore converts engine per-iteration stats to trace spans.
+func spansFromCore(stats []core.IterationStat) []TraceSpan {
+	out := make([]TraceSpan, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, TraceSpan{
+			Iteration:    st.Iteration,
+			FrontierSize: st.FrontierSize,
+			HubsExpanded: st.HubsExpanded,
+			HubsSkipped:  st.HubsSkipped,
+			MassAdded:    st.MassAdded,
+			L1ErrorBound: st.L1ErrorBound,
+			DurationMS:   float64(st.Duration) / 1e6,
+		})
+	}
+	return out
+}
+
+// spansFromCluster converts routed per-iteration spans to trace spans.
+func spansFromCluster(spans []cluster.IterationSpan) []TraceSpan {
+	out := make([]TraceSpan, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, TraceSpan{
+			Iteration:    sp.Iteration,
+			FrontierSize: sp.FrontierSize,
+			MassAdded:    sp.MassAdded,
+			L1ErrorBound: sp.L1ErrorBound,
+			DurationMS:   sp.DurationMS,
+			Legs:         sp.Legs,
+		})
+	}
+	return out
+}
+
+// computeTraced computes one traced answer fresh, under the same admission
+// gate as compute but outside the cache and the flight group. The answer is
+// never cached (its body carries volatile timing data) and never shared with
+// concurrent identical requests.
+func (s *Server) computeTraced(req queryRequest, traceID string) (*cachedAnswer, *TraceBlock, error) {
+	s.metrics.tracedQueries.Inc()
+	level := s.adm.acquire()
+	if level == svcShed {
+		return nil, nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeOverloaded,
+			msg: "overloaded: admission and degradation pools are full"}
+	}
+	defer s.adm.release(level)
+	eta := req.eta
+	degraded := false
+	if level == svcDegraded && s.cfg.DegradedEta < eta {
+		eta = s.cfg.DegradedEta
+		degraded = true
+	}
+	stop := core.StopCondition{MaxIterations: eta, TargetL1Error: req.targetError}
+
+	if s.router != nil {
+		cres, err := s.router.QueryTrace(req.node, stop, traceID)
+		if err != nil {
+			var aerr *api.Error
+			if errors.As(err, &aerr) && aerr.Code == api.CodeBadRequest {
+				return nil, nil, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest, msg: aerr.Message}
+			}
+			return nil, nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeUnavailable, msg: err.Error()}
+		}
+		ans := &cachedAnswer{
+			result: &core.Result{
+				Query:        cres.Query,
+				Estimate:     cres.Estimate,
+				Iterations:   cres.Iterations,
+				L1ErrorBound: cres.L1ErrorBound,
+				Duration:     cres.Duration,
+			},
+			degraded:     degraded || cres.Degraded,
+			shardsDown:   cres.ShardsDown,
+			shardsBehind: cres.ShardsBehind,
+			lostMass:     cres.LostFrontierMass,
+		}
+		s.metrics.observeQuery(cres.Iterations, cres.L1ErrorBound, cres.HubsExpanded, cres.HubsSkipped, ans.degraded)
+		tb := &TraceBlock{
+			TraceID:    traceID,
+			Mode:       "router",
+			DurationMS: float64(cres.Duration) / 1e6,
+			Iterations: spansFromCluster(cres.Spans),
+		}
+		return ans, tb, nil
+	}
+
+	start := time.Now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	qs, err := s.engine.NewQuery(req.node)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := qs.Run(stop)
+	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
+	s.observeEngineResult(res, degraded)
+	tb := &TraceBlock{
+		TraceID:    traceID,
+		Mode:       "engine",
+		DurationMS: float64(time.Since(start)) / 1e6,
+		Iterations: spansFromCore(res.PerIteration),
+	}
+	return ans, tb, nil
+}
+
+// observeEngineResult records the query metrics of one local computation.
+func (s *Server) observeEngineResult(res *core.Result, degraded bool) {
+	expanded, skipped := 0, 0
+	for _, st := range res.PerIteration {
+		expanded += st.HubsExpanded
+		skipped += st.HubsSkipped
+	}
+	s.metrics.observeQuery(res.Iterations, res.L1ErrorBound, expanded, skipped, degraded)
+}

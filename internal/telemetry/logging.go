@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the shared structured logger the commands use. format is
+// "text" (human-readable key=value lines) or "json" (one JSON object per
+// line, for log shippers); level is "debug", "info", "warn" or "error".
+// component is attached to every record so multi-process deployments (shards
+// behind a router) can be told apart in an aggregated stream.
+func NewLogger(w io.Writer, format, level, component string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	logger := slog.New(h)
+	if component != "" {
+		logger = logger.With("component", component)
+	}
+	return logger, nil
+}
+
+// NopLogger returns a logger that discards everything; library code uses it
+// as the default so logging is strictly opt-in.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

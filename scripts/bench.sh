@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# bench.sh runs the standing serving benchmark and writes the BENCH_*.json
+# perf-trajectory artifact for the current tree.
+#
+#   scripts/bench.sh                 # BENCH_6.json, tiny scale (CI default)
+#   scripts/bench.sh BENCH_6.json small 5000 16
+#
+# Arguments: [out] [scale] [requests] [concurrency]. The report schema is
+# internal/benchfmt; `ppvload -json` emits the same schema against a live
+# deployment, so ad-hoc and CI numbers are directly comparable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_6.json}"
+SCALE="${2:-tiny}"
+REQUESTS="${3:-2000}"
+CONCURRENCY="${4:-8}"
+
+go run ./cmd/ppvbench -serve -scale "$SCALE" -requests "$REQUESTS" \
+  -concurrency "$CONCURRENCY" -out "$OUT"
