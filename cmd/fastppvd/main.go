@@ -105,6 +105,7 @@ func run(args []string) error {
 	warmHubs := fs.Int("warm-hubs", 0, "preload this many of the hottest hub blocks into the block cache at startup")
 	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
 	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
+	mmap := fs.Bool("mmap", false, "serve the -index file from a memory mapping (zero-copy record views); falls back to pread when the platform cannot map it")
 	updateLog := fs.String("update-log", "", "update log for -index mode (empty = <index>.log, \"none\" disables durable updates)")
 	graphLog := fs.String("graph-log", "", "graph-mutation log for -index mode (empty = <index>.graphlog, \"none\" disables graph durability)")
 	compactThreshold := fs.Int64("compact-threshold-bytes", 0, "auto-compact the update log past this size (0 = 64 MiB default, negative = manual /v1/compact only)")
@@ -189,6 +190,7 @@ func run(args []string) error {
 	dio := fastppv.DiskIndexOptions{
 		BlockCacheBytes:       *blockCacheBytes,
 		CompactThresholdBytes: *compactThreshold,
+		Mmap:                  *mmap,
 	}
 	switch *updateLog {
 	case "none":
@@ -210,12 +212,20 @@ func run(args []string) error {
 			return err
 		}
 		defer closeIndex()
+		mmapActive := false
+		if ma, ok := engine.Index().(interface{ MmapActive() bool }); ok {
+			mmapActive = ma.MmapActive()
+		}
+		if *mmap && !mmapActive {
+			logger.Warn("mmap requested but unavailable; serving via pread")
+		}
 		off := engine.OfflineStats()
 		logger.Info("serving disk index",
 			"hubs", off.Hubs, "index", *indexPath,
 			"index_mb", fmt.Sprintf("%.2f", float64(off.IndexBytes)/(1<<20)),
 			"block_cache", blockCacheDesc(*blockCacheBytes),
 			"update_log", updateLogDesc(*indexPath, dio),
+			"mmap", mmapActive,
 			"epoch", engine.Epoch())
 	} else {
 		engine, err = fastppv.New(g, opts)

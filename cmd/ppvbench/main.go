@@ -51,6 +51,7 @@ func main() {
 		top         = flag.Int("top", 10, "-serve: ranked results per query")
 		seed        = flag.Int64("seed", 1, "-serve: graph and workload seed")
 		diskReads   = flag.Int("disk-reads", 4000, "-serve: hub-block reads per warm/cold timing pass")
+		mmap        = flag.Bool("mmap", true, "-serve: serve the read-cost index from a memory mapping (zero-copy views); falls back to pread when unsupported")
 		logFormat   = flag.String("log-format", "text", "-serve: log output format, text or json")
 		logLevel    = flag.String("log-level", "info", "-serve: minimum log level")
 	)
@@ -67,6 +68,7 @@ func main() {
 			top:         *top,
 			seed:        *seed,
 			diskReads:   *diskReads,
+			mmap:        *mmap,
 			logFormat:   *logFormat,
 			logLevel:    *logLevel,
 		}); err != nil {

@@ -16,12 +16,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
 	"fastppv"
 	"fastppv/internal/benchfmt"
+	"fastppv/internal/core"
 	"fastppv/internal/gen"
+	"fastppv/internal/ppvindex"
 	"fastppv/internal/server"
 	"fastppv/internal/telemetry"
 	"fastppv/internal/workload"
@@ -46,6 +49,7 @@ type serveConfig struct {
 	top         int
 	seed        int64
 	diskReads   int
+	mmap        bool
 	logFormat   string
 	logLevel    string
 }
@@ -95,12 +99,21 @@ func runServe(cfg serveConfig) error {
 	logger.Info("serving benchmark stack", "addr", base,
 		"requests", cfg.requests, "concurrency", cfg.concurrency, "zipf", cfg.zipfS)
 
+	// Allocation accounting brackets the workload: the client and server run
+	// in one process, so the Mallocs delta divided by successful requests is
+	// the whole-stack allocation bill per query (request parsing, the pooled
+	// query loop, response encoding, plus the measuring client itself).
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	qps, latencies, bounds, bytesPerQuery, hitRate, failures, err := driveWorkload(base, g.NumNodes(), cfg)
 	if err != nil {
 		return err
 	}
+	runtime.ReadMemStats(&msAfter)
+	allocsPerQuery := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(len(latencies))
+	poolStats := core.QueryPoolStats()
 
-	warmNS, coldNS, err := diskReadCosts(g, size.hubs, cfg.diskReads, logger)
+	warmNS, coldNS, mmapActive, err := diskReadCosts(g, size.hubs, cfg.diskReads, cfg.mmap, logger)
 	if err != nil {
 		return err
 	}
@@ -129,6 +142,10 @@ func runServe(cfg serveConfig) error {
 		Failures:      failures,
 		WarmReadNS:    warmNS,
 		ColdReadNS:    coldNS,
+
+		AllocsPerQuery: allocsPerQuery,
+		PoolHitRate:    poolStats.HitRate(),
+		MmapActive:     mmapActive,
 	}
 	if err := benchfmt.WriteFile(cfg.out, report); err != nil {
 		return err
@@ -138,7 +155,10 @@ func runServe(cfg serveConfig) error {
 		"p50_ms", fmt.Sprintf("%.3f", report.LatencyMS.P50),
 		"p99_ms", fmt.Sprintf("%.3f", report.LatencyMS.P99),
 		"warm_read_ns", fmt.Sprintf("%.0f", warmNS),
-		"cold_read_ns", fmt.Sprintf("%.0f", coldNS))
+		"cold_read_ns", fmt.Sprintf("%.0f", coldNS),
+		"allocs_per_query", fmt.Sprintf("%.1f", allocsPerQuery),
+		"pool_hit_rate", fmt.Sprintf("%.3f", poolStats.HitRate()),
+		"mmap", mmapActive)
 	return nil
 }
 
@@ -246,14 +266,17 @@ func driveWorkload(base string, numNodes int, cfg serveConfig) (qps float64, lat
 
 // diskReadCosts builds a disk index for the benchmark graph in a temporary
 // directory and times per-hub-block reads with the block cache disabled
-// (cold: every read is a positioned disk read + record decode) and warm
-// (steady state of a skewed serving workload). Returns mean ns per read.
-func diskReadCosts(g *fastppv.Graph, numHubs, reads int, logger interface {
+// (cold) and warm (steady state of a skewed serving workload). The timed read
+// uses the same path the query hot loop does: a zero-copy record view when
+// the store serves one (mmap, or the raw-payload block cache), falling back
+// to a decoded-vector Get. Returns mean ns per read and whether the store
+// actually served from a memory mapping.
+func diskReadCosts(g *fastppv.Graph, numHubs, reads int, mmap bool, logger interface {
 	Info(msg string, args ...any)
-}) (warmNS, coldNS float64, err error) {
+}) (warmNS, coldNS float64, mmapActive bool, err error) {
 	dir, err := os.MkdirTemp("", "ppvbench-disk")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	defer os.RemoveAll(dir)
 	path := dir + "/index.ppv"
@@ -261,18 +284,18 @@ func diskReadCosts(g *fastppv.Graph, numHubs, reads int, logger interface {
 	opts := fastppv.Options{NumHubs: numHubs}
 	build, closeBuild, err := fastppv.NewWithDiskIndex(g, opts, path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if err := build.Precompute(); err != nil {
 		closeBuild()
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if err := closeBuild(); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	logger.Info("disk index built for read-cost measurement", "path", path, "reads", reads)
+	logger.Info("disk index built for read-cost measurement", "path", path, "reads", reads, "mmap", mmap)
 
-	dio := fastppv.DiskIndexOptions{DisableUpdateLog: true, DisableGraphLog: true}
+	dio := fastppv.DiskIndexOptions{DisableUpdateLog: true, DisableGraphLog: true, Mmap: mmap}
 
 	measure := func(cacheBytes int64, prefill bool) (float64, error) {
 		d := dio
@@ -287,6 +310,9 @@ func diskReadCosts(g *fastppv.Graph, numHubs, reads int, logger interface {
 		if len(hubs) == 0 {
 			return 0, fmt.Errorf("disk index holds no hubs")
 		}
+		if ma, ok := idx.(interface{ MmapActive() bool }); ok && ma.MmapActive() {
+			mmapActive = true
+		}
 		if prefill {
 			for _, h := range hubs {
 				if _, ok, err := idx.Get(h); !ok || err != nil {
@@ -294,20 +320,29 @@ func diskReadCosts(g *fastppv.Graph, numHubs, reads int, logger interface {
 				}
 			}
 		}
+		vg, _ := idx.(ppvindex.ViewGetter)
 		start := time.Now()
 		for i := 0; i < reads; i++ {
-			if _, ok, err := idx.Get(hubs[i%len(hubs)]); !ok || err != nil {
-				return 0, fmt.Errorf("reading hub %d: ok=%v err=%v", hubs[i%len(hubs)], ok, err)
+			h := hubs[i%len(hubs)]
+			if vg != nil {
+				view, ok, err := vg.GetView(h)
+				if err == nil && ok {
+					view.Release()
+					continue
+				}
+			}
+			if _, ok, err := idx.Get(h); !ok || err != nil {
+				return 0, fmt.Errorf("reading hub %d: ok=%v err=%v", h, ok, err)
 			}
 		}
 		return float64(time.Since(start)) / float64(reads), nil
 	}
 
 	if coldNS, err = measure(-1, false); err != nil { // cache disabled
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if warmNS, err = measure(64<<20, true); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return warmNS, coldNS, nil
+	return warmNS, coldNS, mmapActive, nil
 }

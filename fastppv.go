@@ -197,11 +197,16 @@ type DiskIndexOptions struct {
 	// engine serves the original graph again while the index still replays
 	// the updated hub PPVs (the pre-graph-log behaviour).
 	DisableGraphLog bool
+	// Mmap maps the index file into memory and serves hub records as
+	// zero-copy views instead of pread-ing them into fresh buffers. Falls
+	// back to pread silently when the platform (or the file) cannot be
+	// mapped; MmapActive on the store reports which mode is live.
+	Mmap bool
 }
 
 // storeConfig resolves the public knobs into the internal store config.
 func (o DiskIndexOptions) storeConfig(indexPath string) diskStoreConfig {
-	cfg := diskStoreConfig{cacheBytes: o.BlockCacheBytes}
+	cfg := diskStoreConfig{cacheBytes: o.BlockCacheBytes, mmap: o.Mmap}
 	if !o.DisableUpdateLog {
 		cfg.logPath = o.UpdateLogPath
 		if cfg.logPath == "" {
@@ -367,6 +372,9 @@ type diskStoreConfig struct {
 	// store never sees); the store takes ownership and appends/commits/closes
 	// it.
 	graphLog *ppvindex.GraphLog
+	// mmap opens every base-index generation memory-mapped (zero-copy record
+	// views); unsupported platforms fall back to pread silently.
+	mmap bool
 }
 
 // diskStore adapts the disk index writer/reader pair to the engine's
@@ -442,6 +450,9 @@ type diskReadState struct {
 	// fronting it (nil when caching is disabled).
 	reader *ppvindex.DiskIndex
 	cache  *ppvindex.BlockCache
+	// viewSrc is src's view interface, asserted once at state construction so
+	// the per-query GetView hot path skips the dynamic type check.
+	viewSrc ppvindex.ViewGetter
 }
 
 // newDiskStore creates a store in write mode: Puts stream to a fresh index
@@ -600,6 +611,42 @@ func (s *diskStore) Get(h NodeID) (Vector, bool, error) {
 	}
 }
 
+// GetView implements ppvindex.ViewGetter: it serves a hub record as a
+// zero-copy (mmap) or single-copy (pread / cached payload) view, which the
+// engine's hot loop folds straight into its estimate accumulator. A hub
+// shadowed by the overlay (rewritten by an incremental update) reports a miss
+// so the caller falls back to Get, which serves the fresh overlay version —
+// a view of the stale base record must never win over a newer rewrite.
+func (s *diskStore) GetView(h NodeID) (ppvindex.HubRecordView, bool, error) {
+	for {
+		st, err := s.reading()
+		if err != nil {
+			return ppvindex.HubRecordView{}, false, err
+		}
+		if st.overlay.Has(h) {
+			return ppvindex.HubRecordView{}, false, nil
+		}
+		if st.viewSrc == nil {
+			return ppvindex.HubRecordView{}, false, nil
+		}
+		view, ok, err := st.viewSrc.GetView(h)
+		if err != nil && errors.Is(err, ppvindex.ErrIndexClosed) && s.state.Load() != st {
+			// The state was retired under us (compaction swap, or Close);
+			// retry against the current one.
+			continue
+		}
+		return view, ok, err
+	}
+}
+
+// MmapActive reports whether the published read state serves its base index
+// from a memory mapping (false when pread fallback engaged, the store is in
+// write mode, or it is closed).
+func (s *diskStore) MmapActive() bool {
+	st := s.state.Load()
+	return st != nil && st.reader != nil && st.reader.MmapActive()
+}
+
 func (s *diskStore) Has(h NodeID) bool {
 	st, err := s.reading()
 	if err != nil {
@@ -720,7 +767,7 @@ func (s *diskStore) ensureReaderLocked() error {
 		}
 		s.writer = nil
 	}
-	r, err := ppvindex.OpenDisk(s.path)
+	r, err := ppvindex.OpenDiskWithOptions(s.path, ppvindex.DiskOptions{Mmap: s.cfg.mmap})
 	if err != nil {
 		return err
 	}
@@ -778,6 +825,7 @@ func (s *diskStore) newReadState(r *ppvindex.DiskIndex) *diskReadState {
 		st.cache = ppvindex.NewBlockCache(r, s.cfg.cacheBytes, 0)
 		st.src = st.cache
 	}
+	st.viewSrc, _ = st.src.(ppvindex.ViewGetter)
 	return st
 }
 
@@ -856,7 +904,7 @@ func (s *diskStore) Compact() (CompactionResult, error) {
 	if err := w.Close(); err != nil {
 		return res, fmt.Errorf("fastppv: compaction finalizing rewritten index: %w", err)
 	}
-	r, err := ppvindex.OpenDisk(s.path)
+	r, err := ppvindex.OpenDiskWithOptions(s.path, ppvindex.DiskOptions{Mmap: s.cfg.mmap})
 	if err != nil {
 		// The old state keeps serving: its overlay still shadows the base
 		// records the rewrite folded in, so answers stay correct, and the

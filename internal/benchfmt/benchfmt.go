@@ -45,9 +45,23 @@ type Report struct {
 
 	// WarmReadNS / ColdReadNS are mean per-hub-block read costs against the
 	// on-disk index with the block cache warm and disabled respectively
-	// (ppvbench -serve only).
+	// (ppvbench -serve only). The read goes through the same path the query
+	// hot loop uses: a zero-copy record view when the store supports it, a
+	// decoded vector otherwise.
 	WarmReadNS float64 `json:"warm_read_ns,omitempty"`
 	ColdReadNS float64 `json:"cold_read_ns,omitempty"`
+
+	// AllocsPerQuery is the mean number of heap allocations per successful
+	// request, measured process-wide across the in-process client+server
+	// stack (ppvbench -serve only). Additive field of fastppv-bench/v1:
+	// older reports simply omit it.
+	AllocsPerQuery float64 `json:"allocs_per_query,omitempty"`
+	// PoolHitRate is the cumulative query-buffer pool reuse rate at the end
+	// of the run (hits/gets; ~1 at steady state). Additive.
+	PoolHitRate float64 `json:"pool_hit_rate,omitempty"`
+	// MmapActive reports whether the disk read-cost passes served the index
+	// from a memory mapping (zero-copy views) rather than pread. Additive.
+	MmapActive bool `json:"mmap_active,omitempty"`
 }
 
 // GraphInfo describes the dataset the run was served from.

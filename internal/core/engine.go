@@ -54,6 +54,11 @@ type Engine struct {
 	opts  Options
 	hubs  *hub.Set
 	index IndexStore
+	// viewIndex is non-nil when index can serve hub records as zero-copy
+	// views (disk-backed stores); the query hot loop then folds record bytes
+	// straight into the estimate accumulator, falling back to index.Get for
+	// overlay/missing hubs.
+	viewIndex ppvindex.ViewGetter
 
 	offline     OfflineStats
 	precomputed bool
@@ -83,6 +88,7 @@ func NewEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, error) 
 		index = ppvindex.NewMemIndex()
 	}
 	e := &Engine{g: g, opts: opts, index: index}
+	e.viewIndex, _ = index.(ppvindex.ViewGetter)
 	e.epoch.Store(opts.InitialEpoch)
 	return e, nil
 }
@@ -144,6 +150,7 @@ func NewServingEngine(g *graph.Graph, index IndexStore, opts Options) (*Engine, 
 		index:       index,
 		precomputed: true,
 	}
+	e.viewIndex, _ = index.(ppvindex.ViewGetter)
 	e.epoch.Store(opts.InitialEpoch)
 	e.offline = OfflineStats{
 		Hubs:         len(hubNodes),

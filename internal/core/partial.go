@@ -53,11 +53,21 @@ func (e *Engine) PartialRoot(q graph.NodeID) (*PartialIncrement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PartialIncrement{
-		Increment: qs.estimate,
-		Frontier:  qs.frontier,
+	// Materialize at the boundary: the increment and frontier escape into the
+	// router (and the wire), so they must be copies, not the pooled state
+	// that Close recycles.
+	qs.syncEstimate()
+	frontier := make(map[graph.NodeID]float64, len(qs.bufs.frontier))
+	for _, fe := range qs.bufs.frontier {
+		frontier[fe.hub] = fe.prefix
+	}
+	out := &PartialIncrement{
+		Increment: qs.result.Estimate,
+		Frontier:  frontier,
 		FromIndex: !qs.result.QueryPPVComputed,
-	}, nil
+	}
+	qs.Close()
+	return out, nil
 }
 
 // PartialExpand applies one scheduled-approximation iteration restricted to
@@ -77,14 +87,16 @@ func (e *Engine) PartialExpand(frontier map[graph.NodeID]float64) (*PartialIncre
 		return nil, fmt.Errorf("core: PartialExpand before Precompute")
 	}
 	out := &PartialIncrement{
-		Increment: sparse.New(64),
-		Frontier:  make(map[graph.NodeID]float64),
+		Frontier: make(map[graph.NodeID]float64),
 	}
+	b := getQueryBufs()
+	defer putQueryBufs(b)
 	hubs := make([]graph.NodeID, 0, len(frontier))
 	for h := range frontier {
 		hubs = append(hubs, h)
 	}
 	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	inc := &b.inc
 	for _, h := range hubs {
 		if !e.hubs.Contains(h) || !e.opts.Partition.Owns(h) {
 			out.Unowned = append(out.Unowned, h)
@@ -94,6 +106,19 @@ func (e *Engine) PartialExpand(frontier map[graph.NodeID]float64) (*PartialIncre
 		if prefix <= e.opts.Delta {
 			out.HubsSkipped++
 			continue
+		}
+		scale := prefix / e.opts.Alpha
+		if e.viewIndex != nil {
+			view, ok, err := e.viewIndex.GetView(h)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading prime PPV of hub %d: %w", h, err)
+			}
+			if ok {
+				inc.StageEncodedExtension(view.EntryBytes(), scale, h, e.opts.Alpha)
+				view.Release()
+				out.HubsExpanded++
+				continue
+			}
 		}
 		hubPPV, ok, err := e.index.Get(h)
 		if err != nil {
@@ -105,13 +130,14 @@ func (e *Engine) PartialExpand(frontier map[graph.NodeID]float64) (*PartialIncre
 				continue
 			}
 		}
-		ext := prime.ExtensionVector(hubPPV, h, e.opts.Alpha)
-		out.Increment.AddScaled(ext, prefix/e.opts.Alpha)
+		inc.StageVectorExtension(hubPPV, scale, h, e.opts.Alpha)
 		out.HubsExpanded++
 	}
-	for node, score := range out.Increment {
-		if score > 0 && e.hubs.Contains(node) {
-			out.Frontier[node] = score
+	inc.Combine()
+	out.Increment = inc.ToVector()
+	for _, en := range inc.Entries() {
+		if en.Score > 0 && e.hubs.Contains(en.Node) {
+			out.Frontier[en.Node] = en.Score
 		}
 	}
 	return out, nil

@@ -67,25 +67,38 @@ func (e *Engine) Query(q graph.NodeID, stop StopCondition) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return qs.Run(stop), nil
+	res := qs.Run(stop)
+	qs.Close()
+	return res, nil
 }
 
 // QueryState is an in-progress incremental query. It exposes the scheduled
 // approximation directly: Step applies one more PPV increment and returns the
 // updated accuracy bound, so callers can trade accuracy for time dynamically
 // (the "accuracy-aware" property of Sect. 3).
+//
+// The working state — the running estimate, the per-step increment and the
+// frontier — lives in a pooled flat-slice bundle, not in maps: Step folds hub
+// records (zero-copy views when the index provides them) into a sorted
+// accumulator with linear merges, and the map-based Result.Estimate is
+// materialized lazily at the API boundary (Result, Run, Close). Callers that
+// drive QueryState directly should Close it when done to recycle the bundle;
+// a state that is never Closed is still correct, just not pooled.
 type QueryState struct {
 	engine *Engine
 	query  graph.NodeID
 
-	estimate sparse.Vector
-	// frontier maps hub -> prefix reachability r^(i-1)_q(hub) of the previous
-	// increment, i.e. the weight with which the hub's prime PPV is assembled
-	// in the next iteration (Theorem 4).
-	frontier  map[graph.NodeID]float64
+	// bufs holds the pooled working set: bufs.acc is the running estimate,
+	// bufs.inc the per-step increment, bufs.frontier the border hubs of the
+	// next iteration (sorted by ascending hub, prefix weights of Theorem 4).
+	// nil after Close.
+	bufs      *queryBufs
 	iteration int
 	result    *Result
-	started   time.Time
+	// estimateDirty marks that bufs.acc has advanced past the materialized
+	// result.Estimate (or that no materialization happened yet).
+	estimateDirty bool
+	started       time.Time
 	// mass is the running total of the estimate, accumulated increment by
 	// increment in deterministic (node-ordered) summation order so the error
 	// bound 1-mass is byte-reproducible without re-summing the whole estimate
@@ -113,7 +126,9 @@ func (e *Engine) QueryOn(adj prime.Adjacency, q graph.NodeID, stop StopCondition
 	if err != nil {
 		return nil, err
 	}
-	return qs.Run(stop), nil
+	res := qs.Run(stop)
+	qs.Close()
+	return res, nil
 }
 
 // NewQueryOn is NewQuery over an alternative adjacency view (see QueryOn).
@@ -126,32 +141,46 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 	}
 	started := time.Now()
 
+	b := getQueryBufs()
 	var (
-		queryPPV sparse.Vector
-		computed bool
+		computed  bool
+		fromIndex bool
 	)
-	if stored, ok, err := e.index.Get(q); err != nil {
-		return nil, fmt.Errorf("core: loading prime PPV of query %d: %w", q, err)
-	} else if ok {
-		queryPPV = stored
-	} else {
-		var err error
-		queryPPV, _, err = prime.ComputePPV(adj, q, e.hubs, e.opts.primeOptions())
-		if err != nil {
-			return nil, fmt.Errorf("core: prime PPV of query %d: %w", q, err)
+	// Iteration 0: the query node's prime PPV. Prefer the zero-copy view
+	// path; fall back to the map Get (which also covers overlay records) and
+	// finally to computing the prime PPV on the fly for non-hub queries.
+	if e.viewIndex != nil {
+		if view, ok, verr := e.viewIndex.GetView(q); verr == nil && ok {
+			b.acc.SetEncoded(view.EntryBytes())
+			view.Release()
+			fromIndex = true
 		}
-		computed = true
+	}
+	if !fromIndex {
+		if stored, ok, err := e.index.Get(q); err != nil {
+			putQueryBufs(b)
+			return nil, fmt.Errorf("core: loading prime PPV of query %d: %w", q, err)
+		} else if ok {
+			b.acc.SetVector(stored)
+		} else {
+			queryPPV, _, err := prime.ComputePPV(adj, q, e.hubs, e.opts.primeOptions())
+			if err != nil {
+				putQueryBufs(b)
+				return nil, fmt.Errorf("core: prime PPV of query %d: %w", q, err)
+			}
+			b.acc.SetVector(queryPPV)
+			computed = true
+		}
 	}
 
-	estimate := queryPPV.Clone()
 	qs := &QueryState{
-		engine:    e,
-		query:     q,
-		estimate:  estimate,
-		frontier:  make(map[graph.NodeID]float64),
-		deps:      make(map[graph.NodeID]struct{}),
-		started:   started,
-		iteration: 0,
+		engine:        e,
+		query:         q,
+		bufs:          b,
+		deps:          make(map[graph.NodeID]struct{}),
+		estimateDirty: true,
+		started:       started,
+		iteration:     0,
 	}
 	if !computed {
 		qs.deps[q] = struct{}{}
@@ -159,31 +188,31 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 	// The frontier after iteration 0 is the hub entries of the query's prime
 	// PPV. If the query node is itself a hub, its self-entry includes the
 	// empty tour, which must not be extended (the starting node is excluded
-	// from hub length), so subtract alpha from it.
-	for node, score := range queryPPV {
-		if !e.hubs.Contains(node) {
+	// from hub length), so subtract alpha from it. Scanning the sorted
+	// accumulator entries yields the frontier already in expansion order.
+	for _, en := range b.acc.Entries() {
+		if !e.hubs.Contains(en.Node) {
 			continue
 		}
-		w := score
-		if node == q {
+		w := en.Score
+		if en.Node == q {
 			w -= e.opts.Alpha
 		}
 		if w > 0 {
-			qs.frontier[node] = w
+			b.frontier = append(b.frontier, frontierEntry{hub: en.Node, prefix: w})
 		}
 	}
-	qs.mass = estimate.SumOrdered()
+	qs.mass = b.acc.Sum()
 	bound := 1 - qs.mass
 	qs.result = &Result{
 		Query:            q,
-		Estimate:         estimate,
 		L1ErrorBound:     bound,
 		QueryPPVComputed: computed,
 		PerIteration: []IterationStat{{
 			Iteration:    0,
 			MassAdded:    qs.mass,
 			L1ErrorBound: bound,
-			FrontierSize: len(qs.frontier),
+			FrontierSize: len(b.frontier),
 			Duration:     time.Since(started),
 		}},
 	}
@@ -191,9 +220,39 @@ func (e *Engine) NewQueryOn(adj prime.Adjacency, q graph.NodeID) (*QueryState, e
 	return qs, nil
 }
 
+// syncEstimate materializes the accumulator into the public map-based
+// Result.Estimate if it is stale. This is the only place the hot-loop state
+// crosses into the map representation.
+func (qs *QueryState) syncEstimate() {
+	if qs.bufs == nil {
+		return // Closed: the last sync already produced the final estimate.
+	}
+	if qs.estimateDirty || qs.result.Estimate == nil {
+		qs.result.Estimate = qs.bufs.acc.ToVector()
+		qs.estimateDirty = false
+	}
+}
+
 // Result returns the current result snapshot. The estimate is shared with the
 // query state; callers that keep iterating should not modify it.
-func (qs *QueryState) Result() *Result { return qs.result }
+func (qs *QueryState) Result() *Result {
+	qs.syncEstimate()
+	return qs.result
+}
+
+// Close materializes the final result and returns the query's pooled working
+// buffers for reuse. The returned Result (and everything previously obtained
+// via Result or Run) stays valid; further Steps are no-ops. Close is
+// idempotent. Long-running servers should Close every query they finish so
+// the per-query working set is recycled instead of re-allocated.
+func (qs *QueryState) Close() {
+	if qs.bufs == nil {
+		return
+	}
+	qs.syncEstimate()
+	putQueryBufs(qs.bufs)
+	qs.bufs = nil
+}
 
 // L1ErrorBound returns the current accuracy-aware error bound.
 func (qs *QueryState) L1ErrorBound() float64 { return qs.result.L1ErrorBound }
@@ -216,7 +275,9 @@ func (qs *QueryState) HubDeps() []graph.NodeID {
 
 // Exhausted reports whether no extendable hubs remain, i.e. further Steps
 // cannot improve the estimate.
-func (qs *QueryState) Exhausted() bool { return len(qs.frontier) == 0 }
+func (qs *QueryState) Exhausted() bool {
+	return qs.bufs == nil || len(qs.bufs.frontier) == 0
+}
 
 // Step applies the next PPV increment (one more iteration of Algorithm 2's
 // while loop) and returns its statistics. Calling Step when Exhausted is a
@@ -225,59 +286,76 @@ func (qs *QueryState) Step() IterationStat {
 	e := qs.engine
 	iterStart := time.Now()
 	qs.iteration++
-	stat := IterationStat{Iteration: qs.iteration, FrontierSize: len(qs.frontier)}
+	stat := IterationStat{Iteration: qs.iteration}
+	b := qs.bufs
+	if b != nil {
+		stat.FrontierSize = len(b.frontier)
+	}
 
-	if len(qs.frontier) == 0 {
+	if b == nil || len(b.frontier) == 0 {
 		stat.L1ErrorBound = qs.result.L1ErrorBound
 		qs.result.PerIteration = append(qs.result.PerIteration, stat)
 		return stat
 	}
 
-	increment := sparse.New(len(qs.estimate))
-	nextFrontier := make(map[graph.NodeID]float64)
-	// Expand border hubs in ascending order so that floating-point
-	// accumulation is deterministic: two queries at the same eta return
-	// entry-wise identical estimates, which lets serving-layer caches promise
-	// byte-identical cached responses.
-	hubsInFrontier := make([]graph.NodeID, 0, len(qs.frontier))
-	for h := range qs.frontier {
-		hubsInFrontier = append(hubsInFrontier, h)
-	}
-	sort.Slice(hubsInFrontier, func(i, j int) bool { return hubsInFrontier[i] < hubsInFrontier[j] })
-	for _, h := range hubsInFrontier {
-		prefix := qs.frontier[h]
-		if prefix <= e.opts.Delta {
+	inc := &b.inc
+	inc.Reset()
+	// The frontier slice is already sorted by ascending hub id, so hubs are
+	// expanded in deterministic order and floating-point accumulation is
+	// reproducible: two queries at the same eta return entry-wise identical
+	// estimates, which lets serving-layer caches promise byte-identical
+	// cached responses.
+	for _, fe := range b.frontier {
+		if fe.prefix <= e.opts.Delta {
 			stat.HubsSkipped++
 			continue
 		}
-		hubPPV, ok, err := e.index.Get(h)
+		// Theorem 4: extend the prefix ending at hub h by h's prime PPV,
+		// excluding h's empty tour (an extension must advance the walk). The
+		// self-correction is applied inline by the accumulate kernel — no
+		// per-hub clone of the prime PPV.
+		scale := fe.prefix / e.opts.Alpha
+		if e.viewIndex != nil {
+			if view, ok, verr := e.viewIndex.GetView(fe.hub); verr == nil && ok {
+				inc.StageEncodedExtension(view.EntryBytes(), scale, fe.hub, e.opts.Alpha)
+				view.Release()
+				qs.deps[fe.hub] = struct{}{}
+				stat.HubsExpanded++
+				continue
+			}
+		}
+		hubPPV, ok, err := e.index.Get(fe.hub)
 		if err != nil || !ok {
 			// A hub missing from the index (or an I/O error) is recovered by
 			// computing its prime PPV on the fly; this keeps queries usable
 			// with partially built indexes at the cost of extra work.
-			hubPPV, _, err = prime.ComputePPV(e.g, h, e.hubs, e.opts.primeOptions())
+			hubPPV, _, err = prime.ComputePPV(e.g, fe.hub, e.hubs, e.opts.primeOptions())
 			if err != nil {
 				stat.HubsSkipped++
 				continue
 			}
 		}
-		// Theorem 4: extend the prefix ending at hub h by h's prime PPV,
-		// excluding h's empty tour (an extension must advance the walk).
-		ext := prime.ExtensionVector(hubPPV, h, e.opts.Alpha)
-		increment.AddScaled(ext, prefix/e.opts.Alpha)
-		qs.deps[h] = struct{}{}
+		inc.StageVectorExtension(hubPPV, scale, fe.hub, e.opts.Alpha)
+		qs.deps[fe.hub] = struct{}{}
 		stat.HubsExpanded++
 	}
+	// One stable-sort fold of everything staged: per-node contributions sum
+	// in ascending-hub order, bit-equal to merging hub by hub.
+	inc.Combine()
 
-	qs.estimate.AddVector(increment)
-	for node, score := range increment {
-		if e.hubs.Contains(node) && score > 0 {
-			nextFrontier[node] += score
+	b.acc.AddAccumulator(inc)
+	qs.estimateDirty = true
+	// The next frontier is the hub entries of the increment; the increment is
+	// sorted, so the frontier slice is born sorted.
+	b.nextFrontier = b.nextFrontier[:0]
+	for _, en := range inc.Entries() {
+		if en.Score > 0 && e.hubs.Contains(en.Node) {
+			b.nextFrontier = append(b.nextFrontier, frontierEntry{hub: en.Node, prefix: en.Score})
 		}
 	}
-	qs.frontier = nextFrontier
+	b.frontier, b.nextFrontier = b.nextFrontier, b.frontier
 
-	stat.MassAdded = increment.SumOrdered()
+	stat.MassAdded = inc.Sum()
 	qs.mass += stat.MassAdded
 	stat.L1ErrorBound = 1 - qs.mass
 	stat.Duration = time.Since(iterStart)
@@ -312,5 +390,6 @@ func (qs *QueryState) Run(stop StopCondition) *Result {
 		}
 	}
 	qs.result.Duration = time.Since(qs.started)
+	qs.syncEstimate()
 	return qs.result
 }

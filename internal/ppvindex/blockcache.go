@@ -2,7 +2,6 @@ package ppvindex
 
 import (
 	"container/list"
-	"hash/maphash"
 	"sync"
 
 	"fastppv/internal/graph"
@@ -31,11 +30,24 @@ import (
 //
 // Cached vectors are shared with callers and must be treated as immutable,
 // matching the Index.Get contract.
+//
+// When the inner index additionally implements ViewGetter (every DiskIndex
+// does), the cache runs in view mode: blocks are retained as the raw 12-byte
+// encoded entry payload — the same flat layout as the disk record, ~4x
+// denser than a decoded map, so the same byte budget holds ~4x more hot hubs
+// — and GetView serves cache hits as zero-copy, zero-allocation views over
+// the retained buffer. The retained buffer is an owned copy, never an alias
+// of the inner index's mapping, so cached views stay valid across compaction
+// swaps and need no pin. Get still works in view mode by decoding the
+// retained payload per call; it is the boundary/fallback path, not the query
+// hot loop.
 type BlockCache struct {
-	inner  Index
-	shards []*blockShard
-	seed   maphash.Seed
-	budget int64
+	inner Index
+	// viewInner is non-nil when inner serves zero-copy record views, which
+	// switches the cache to retaining raw encoded payloads.
+	viewInner ViewGetter
+	shards    []*blockShard
+	budget    int64
 }
 
 type blockShard struct {
@@ -52,14 +64,18 @@ type blockShard struct {
 }
 
 type blockEntry struct {
-	hub   graph.NodeID
+	hub graph.NodeID
+	// Exactly one of the two payloads is set: ppv in legacy (map) mode, raw
+	// (the flat encoded entry payload) in view mode.
 	ppv   sparse.Vector
+	raw   []byte
 	bytes int64
 }
 
 type blockFlight struct {
 	done chan struct{}
-	ppv  sparse.Vector
+	ppv  sparse.Vector // legacy mode
+	raw  []byte        // view mode
 	ok   bool
 	err  error
 }
@@ -92,8 +108,14 @@ const (
 	blockPerEntryBytes = 48
 )
 
-func blockBytes(v sparse.Vector) int64 {
-	return blockFixedBytes + int64(v.NonZeros())*blockPerEntryBytes
+// blockBytes prices a cached block: a view-mode block costs its flat payload
+// (12 bytes/entry), a decoded map costs ~48 bytes/entry.
+func blockBytes(ppv sparse.Vector, raw []byte) int64 {
+	c := int64(blockFixedBytes) + int64(len(raw))
+	if ppv != nil {
+		c += int64(ppv.NonZeros()) * blockPerEntryBytes
+	}
+	return c
 }
 
 // NewBlockCache wraps inner with a cache of budgetBytes total budget split
@@ -109,9 +131,9 @@ func NewBlockCache(inner Index, budgetBytes int64, numShards int) *BlockCache {
 	c := &BlockCache{
 		inner:  inner,
 		shards: make([]*blockShard, numShards),
-		seed:   maphash.MakeSeed(),
 		budget: budgetBytes,
 	}
+	c.viewInner, _ = inner.(ViewGetter)
 	perShard := budgetBytes / int64(numShards)
 	if perShard < 1 {
 		perShard = 1
@@ -127,14 +149,13 @@ func NewBlockCache(inner Index, budgetBytes int64, numShards int) *BlockCache {
 	return c
 }
 
+// shardFor picks the shard of h with a fixed multiplicative mixer
+// (Fibonacci hashing). Hub ids come from the hub-selection stage, not from
+// untrusted input, so a seeded hash buys nothing here and its setup cost
+// lands on every cache probe of the serving hot path.
 func (c *BlockCache) shardFor(h graph.NodeID) *blockShard {
-	var mh maphash.Hash
-	mh.SetSeed(c.seed)
-	mh.WriteByte(byte(h))
-	mh.WriteByte(byte(h >> 8))
-	mh.WriteByte(byte(h >> 16))
-	mh.WriteByte(byte(h >> 24))
-	return c.shards[mh.Sum64()%uint64(len(c.shards))]
+	x := uint64(uint32(h)) * 0x9E3779B97F4A7C15
+	return c.shards[(x>>32)%uint64(len(c.shards))]
 }
 
 // Get returns the prime PPV of h, from cache when possible. On a miss the
@@ -146,6 +167,13 @@ func (c *BlockCache) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	// lookup, never a flight registration, and does not distort miss stats.
 	if !c.inner.Has(h) {
 		return nil, false, nil
+	}
+	if c.viewInner != nil {
+		raw, ok, err := c.getRaw(h)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return decodeEntries(raw), true, nil
 	}
 	s := c.shardFor(h)
 	s.mu.Lock()
@@ -178,7 +206,7 @@ func (c *BlockCache) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	if cur, registered := s.flights[h]; registered && cur == fl {
 		delete(s.flights, h)
 		if fl.err == nil && fl.ok {
-			s.insertLocked(h, fl.ppv)
+			s.insertLocked(h, fl.ppv, nil)
 		}
 	}
 	s.mu.Unlock()
@@ -186,11 +214,74 @@ func (c *BlockCache) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	return fl.ppv, fl.ok, fl.err
 }
 
-// insertLocked stores a decoded block and evicts LRU blocks until the shard
-// is back under budget. Blocks larger than a whole shard budget are served
-// but not retained.
-func (s *blockShard) insertLocked(h graph.NodeID, v sparse.Vector) {
-	nbytes := blockBytes(v)
+// GetView returns a zero-copy view of the record of h, from cache when
+// possible. Cache hits are allocation-free: the view aliases the retained
+// payload copy, which stays valid even if the entry is later evicted,
+// invalidated, or the inner index generation is compacted away. Only
+// available in view mode (inner implements ViewGetter); otherwise reports
+// not-found so callers fall back to Get.
+func (c *BlockCache) GetView(h graph.NodeID) (HubRecordView, bool, error) {
+	if c.viewInner == nil || !c.inner.Has(h) {
+		return HubRecordView{}, false, nil
+	}
+	raw, ok, err := c.getRaw(h)
+	if err != nil || !ok {
+		return HubRecordView{}, ok, err
+	}
+	return NewHubRecordView(h, raw, nil), true, nil
+}
+
+// getRaw resolves the flat encoded payload of h through the cache in view
+// mode, loading it from the inner index exactly once per miss. The payload
+// handed to callers is an owned copy of the inner view's bytes, taken while
+// the inner view's pin was held, so it never dangles into an unmapped
+// generation.
+func (c *BlockCache) getRaw(h graph.NodeID) ([]byte, bool, error) {
+	s := c.shardFor(h)
+	s.mu.Lock()
+	if el, ok := s.byHub[h]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		raw := el.Value.(*blockEntry).raw
+		s.mu.Unlock()
+		return raw, true, nil
+	}
+	s.misses++
+	if fl, ok := s.flights[h]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.raw, fl.ok, fl.err
+	}
+	fl := &blockFlight{done: make(chan struct{})}
+	s.flights[h] = fl
+	s.mu.Unlock()
+
+	view, ok, err := c.viewInner.GetView(h)
+	if err == nil && ok {
+		fl.raw = append([]byte{}, view.EntryBytes()...)
+		view.Release()
+	}
+	fl.ok, fl.err = ok, err
+
+	s.mu.Lock()
+	s.loads++
+	if cur, registered := s.flights[h]; registered && cur == fl {
+		delete(s.flights, h)
+		if fl.err == nil && fl.ok {
+			s.insertLocked(h, nil, fl.raw)
+		}
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.raw, fl.ok, fl.err
+}
+
+// insertLocked stores a block (decoded map in legacy mode, raw payload in
+// view mode) and evicts LRU blocks until the shard is back under budget.
+// Blocks larger than a whole shard budget are served but not retained.
+func (s *blockShard) insertLocked(h graph.NodeID, v sparse.Vector, raw []byte) {
+	nbytes := blockBytes(v, raw)
 	if nbytes > s.budget {
 		return
 	}
@@ -199,10 +290,10 @@ func (s *blockShard) insertLocked(h graph.NodeID, v sparse.Vector) {
 		// started before either registered); keep the newer value.
 		ent := el.Value.(*blockEntry)
 		s.bytes += nbytes - ent.bytes
-		ent.ppv, ent.bytes = v, nbytes
+		ent.ppv, ent.raw, ent.bytes = v, raw, nbytes
 		s.lru.MoveToFront(el)
 	} else {
-		s.byHub[h] = s.lru.PushFront(&blockEntry{hub: h, ppv: v, bytes: nbytes})
+		s.byHub[h] = s.lru.PushFront(&blockEntry{hub: h, ppv: v, raw: raw, bytes: nbytes})
 		s.bytes += nbytes
 	}
 	for s.bytes > s.budget {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -239,12 +240,17 @@ func (d *DiskWriter) Abort() error {
 
 // DiskIndex is a read-only disk-backed PPV index. It is safe for concurrent
 // use: the directory is immutable after OpenDisk and reads use positioned I/O
-// on a shared file descriptor.
+// on a shared file descriptor, or direct slicing of the mapping in mmap mode.
 type DiskIndex struct {
 	f         *os.File
 	directory map[graph.NodeID]uint64
 	hubs      []graph.NodeID
 	size      int64
+	// data is the read-only memory mapping of the whole file when the index
+	// was opened with DiskOptions.Mmap and the platform supports it; nil in
+	// pread mode. With a mapping, Get decodes straight out of it and GetView
+	// returns record views aliasing it with zero copies.
+	data []byte
 	// recordsEnd is the first byte past the record region (the directory
 	// start); every record, header and payload, must fit below it.
 	recordsEnd int64
@@ -252,16 +258,34 @@ type DiskIndex struct {
 	// accesses during online query processing. Atomic: Get is the hot path
 	// of every cache-missing hub expansion and must not serialize on a lock.
 	reads atomic.Int64
-	// closed flips when Close runs; inflight counts record reads in
-	// progress, which Close drains before releasing the descriptor so no
-	// positioned read ever races the close. Both are only touched on the
-	// disk-read path, never on directory-only lookups.
+	// closed flips when Close runs; inflight counts record reads (and
+	// outstanding mmap views) in progress, which Close drains before
+	// releasing the descriptor and mapping, so no positioned read or view
+	// dereference ever races the close. Both are only touched on the
+	// record-read path, never on directory-only lookups.
 	closed   atomic.Bool
 	inflight atomic.Int64
+	// release is unpin bound once at open: handing a method value to every
+	// mmap view would allocate a fresh closure per GetView on the hot path.
+	release func()
 }
 
-// OpenDisk opens an index file written by DiskWriter.
+// DiskOptions configures how an index file is opened for reading.
+type DiskOptions struct {
+	// Mmap memory-maps the index file and serves records as zero-copy views
+	// over the mapping. When the platform or the mapping call does not
+	// cooperate, the index silently falls back to positioned reads; check
+	// MmapActive to see which mode is live.
+	Mmap bool
+}
+
+// OpenDisk opens an index file written by DiskWriter in positioned-read mode.
 func OpenDisk(path string) (*DiskIndex, error) {
+	return OpenDiskWithOptions(path, DiskOptions{})
+}
+
+// OpenDiskWithOptions opens an index file written by DiskWriter.
+func OpenDiskWithOptions(path string, opts DiskOptions) (*DiskIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -324,13 +348,28 @@ func OpenDisk(path string) (*DiskIndex, error) {
 		idx.hubs = append(idx.hubs, h)
 	}
 	sort.Slice(idx.hubs, func(i, j int) bool { return idx.hubs[i] < idx.hubs[j] })
+	if opts.Mmap {
+		// Graceful fallback: a platform without mmap support (or a mapping
+		// failure, e.g. vm limits) leaves a fully functional pread index.
+		if data, merr := mmapFile(f, st.Size()); merr == nil {
+			idx.data = data
+			idx.release = idx.unpin
+		}
+	}
 	return idx, nil
 }
 
-// Close releases the underlying file after draining in-flight record reads:
-// a Get that raised inflight before closed flipped completes against the
-// still-open descriptor; one that observes closed afterwards backs off with
-// ErrIndexClosed. Closing twice is a no-op.
+// MmapActive reports whether the index serves records from a memory mapping
+// (false when opened without DiskOptions.Mmap or after mmap fallback).
+func (d *DiskIndex) MmapActive() bool { return d.data != nil }
+
+// Close releases the underlying file (and mapping, in mmap mode) after
+// draining in-flight record reads and outstanding views: a Get or GetView
+// that raised inflight before closed flipped completes against the still-open
+// descriptor; one that observes closed afterwards backs off with
+// ErrIndexClosed. Compaction relies on this drain to remap safely: the
+// retired generation's mapping is only torn down once every view into it has
+// been released. Closing twice is a no-op.
 func (d *DiskIndex) Close() error {
 	if d.closed.Swap(true) {
 		return nil
@@ -338,7 +377,102 @@ func (d *DiskIndex) Close() error {
 	for d.inflight.Load() > 0 {
 		time.Sleep(50 * time.Microsecond)
 	}
+	if d.data != nil {
+		data := d.data
+		d.data = nil
+		if err := munmapFile(data); err != nil {
+			d.f.Close()
+			return err
+		}
+	}
 	return d.f.Close()
+}
+
+// pin registers a record read (or a handed-out mmap view) against Close's
+// drain. It fails once the index is closed; a successful pin must be paired
+// with exactly one unpin.
+func (d *DiskIndex) pin() bool {
+	d.inflight.Add(1)
+	if d.closed.Load() {
+		d.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (d *DiskIndex) unpin() { d.inflight.Add(-1) }
+
+// readBuf holds the per-read scratch buffers of the pread path, pooled so the
+// non-mmap fallback does not allocate a header and payload buffer per record.
+type readBuf struct {
+	header  [8]byte
+	payload []byte
+}
+
+var readBufPool = sync.Pool{New: func() any { return new(readBuf) }}
+
+// recordBounds validates the directory offset's record header for hub h and
+// returns the payload offset and length. checkedHeader is the 8-byte header
+// already read from offset off.
+func (d *DiskIndex) recordBounds(h graph.NodeID, off uint64, header []byte) (int64, int, error) {
+	storedHub := graph.NodeID(binary.LittleEndian.Uint32(header[0:]))
+	count := int(binary.LittleEndian.Uint32(header[4:]))
+	if storedHub != h {
+		return 0, 0, fmt.Errorf("%w: record at offset %d is for hub %d, expected %d", ErrBadIndexFormat, off, storedHub, h)
+	}
+	if count < 0 || int64(off)+8+int64(count)*entryBytes > d.recordsEnd {
+		return 0, 0, fmt.Errorf("%w: record of hub %d claims %d entries, overrunning the record region", ErrBadIndexFormat, h, count)
+	}
+	return int64(off) + 8, count * entryBytes, nil
+}
+
+// GetView returns a zero-copy view of the stored record of h. In mmap mode
+// the view aliases the mapping and pins this index generation until Release;
+// in pread mode the entries are read into a freshly owned buffer (callers
+// that want pooling across reads should layer a BlockCache on top, which
+// retains these buffers). Bounds and hub-id checks mirror Get, so a corrupt
+// or truncated record surfaces as ErrBadIndexFormat rather than an
+// out-of-bounds view.
+func (d *DiskIndex) GetView(h graph.NodeID) (HubRecordView, bool, error) {
+	off, ok := d.directory[h]
+	if !ok {
+		return HubRecordView{}, false, nil
+	}
+	if !d.pin() {
+		return HubRecordView{}, false, ErrIndexClosed
+	}
+	if d.data != nil {
+		payloadOff, payloadLen, err := d.recordBounds(h, off, d.data[off:off+8])
+		if err != nil {
+			d.unpin()
+			return HubRecordView{}, false, err
+		}
+		d.reads.Add(1)
+		// The pin transfers to the view; Release returns it.
+		return NewHubRecordView(h, d.data[payloadOff:payloadOff+int64(payloadLen)], d.release), true, nil
+	}
+	defer d.unpin()
+	rb := readBufPool.Get().(*readBuf)
+	defer readBufPool.Put(rb)
+	if _, err := d.f.ReadAt(rb.header[:], int64(off)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return HubRecordView{}, false, fmt.Errorf("%w: truncated record header of hub %d at offset %d", ErrBadIndexFormat, h, off)
+		}
+		return HubRecordView{}, false, err
+	}
+	payloadOff, payloadLen, err := d.recordBounds(h, off, rb.header[:])
+	if err != nil {
+		return HubRecordView{}, false, err
+	}
+	buf := make([]byte, payloadLen)
+	if _, err := d.f.ReadAt(buf, payloadOff); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return HubRecordView{}, false, fmt.Errorf("%w: truncated record of hub %d at offset %d", ErrBadIndexFormat, h, off)
+		}
+		return HubRecordView{}, false, err
+	}
+	d.reads.Add(1)
+	return NewHubRecordView(h, buf, nil), true, nil
 }
 
 // Get reads the prime PPV of h from disk. A record that does not fit inside
@@ -350,28 +484,35 @@ func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
-	d.inflight.Add(1)
-	defer d.inflight.Add(-1)
-	if d.closed.Load() {
+	if !d.pin() {
 		return nil, false, ErrIndexClosed
 	}
-	header := make([]byte, 8)
-	if _, err := d.f.ReadAt(header, int64(off)); err != nil {
+	defer d.unpin()
+	if d.data != nil {
+		payloadOff, payloadLen, err := d.recordBounds(h, off, d.data[off:off+8])
+		if err != nil {
+			return nil, false, err
+		}
+		d.reads.Add(1)
+		return decodeEntries(d.data[payloadOff : payloadOff+int64(payloadLen)]), true, nil
+	}
+	rb := readBufPool.Get().(*readBuf)
+	defer readBufPool.Put(rb)
+	if _, err := d.f.ReadAt(rb.header[:], int64(off)); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, false, fmt.Errorf("%w: truncated record header of hub %d at offset %d", ErrBadIndexFormat, h, off)
 		}
 		return nil, false, err
 	}
-	storedHub := graph.NodeID(binary.LittleEndian.Uint32(header[0:]))
-	count := int(binary.LittleEndian.Uint32(header[4:]))
-	if storedHub != h {
-		return nil, false, fmt.Errorf("%w: record at offset %d is for hub %d, expected %d", ErrBadIndexFormat, off, storedHub, h)
+	payloadOff, payloadLen, err := d.recordBounds(h, off, rb.header[:])
+	if err != nil {
+		return nil, false, err
 	}
-	if count < 0 || int64(off)+8+int64(count)*entryBytes > d.recordsEnd {
-		return nil, false, fmt.Errorf("%w: record of hub %d claims %d entries, overrunning the record region", ErrBadIndexFormat, h, count)
+	if cap(rb.payload) < payloadLen {
+		rb.payload = make([]byte, payloadLen)
 	}
-	buf := make([]byte, count*entryBytes)
-	if _, err := d.f.ReadAt(buf, int64(off)+8); err != nil {
+	buf := rb.payload[:payloadLen]
+	if _, err := d.f.ReadAt(buf, payloadOff); err != nil {
 		// ReadAt returns a non-nil error on every short read; after the
 		// bounds check above, any EOF here means the file shrank under us.
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -379,14 +520,21 @@ func (d *DiskIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 		}
 		return nil, false, err
 	}
+	d.reads.Add(1)
+	return decodeEntries(buf), true, nil
+}
+
+// decodeEntries materializes a flat encoded entry payload as a map Vector.
+// The input is fully copied out, so pooled and mapped buffers never escape.
+func decodeEntries(buf []byte) sparse.Vector {
+	count := len(buf) / entryBytes
 	v := sparse.New(count)
 	for i := 0; i < count; i++ {
 		node := graph.NodeID(binary.LittleEndian.Uint32(buf[i*entryBytes:]))
 		score := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*entryBytes+4:]))
 		v[node] = score
 	}
-	d.reads.Add(1)
-	return v, true, nil
+	return v
 }
 
 // Has reports whether h is indexed.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fastppv/internal/graph"
 	"fastppv/internal/sparse"
@@ -50,6 +51,11 @@ const perHubOverheadBytes = 4 + 4
 type MemIndex struct {
 	mu   sync.RWMutex
 	ppvs map[graph.NodeID]sparse.Vector
+	// count mirrors len(ppvs) so Has can answer "empty" without taking the
+	// read lock. MemIndex doubles as the overlay of a disk store, where the
+	// serving hot path probes it once per record read and it is empty except
+	// in the window between an incremental update and the next compaction.
+	count atomic.Int64
 }
 
 // NewMemIndex returns an empty in-memory index.
@@ -63,6 +69,7 @@ func (m *MemIndex) Put(h graph.NodeID, ppv sparse.Vector) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.ppvs[h] = ppv
+	m.count.Store(int64(len(m.ppvs)))
 	return nil
 }
 
@@ -74,8 +81,12 @@ func (m *MemIndex) Get(h graph.NodeID) (sparse.Vector, bool, error) {
 	return v, ok, nil
 }
 
-// Has reports whether h is indexed.
+// Has reports whether h is indexed. An empty index answers from the atomic
+// count alone, keeping the common empty-overlay probe off the lock.
 func (m *MemIndex) Has(h graph.NodeID) bool {
+	if m.count.Load() == 0 {
+		return false
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	_, ok := m.ppvs[h]

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package ppvindex
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; OpenDiskWithOptions falls back to
+// the positioned-read path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmapFile(data []byte) error { return nil }

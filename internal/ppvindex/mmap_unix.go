@@ -1,0 +1,21 @@
+//go:build unix
+
+package ppvindex
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The caller owns the
+// returned slice and must release it with munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(math.MaxInt) {
+		return nil, fmt.Errorf("ppvindex: cannot mmap %d-byte index", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

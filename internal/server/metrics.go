@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"fastppv/internal/core"
 	"fastppv/internal/telemetry"
 )
 
@@ -97,6 +98,13 @@ func (s *Server) registerCollectors(reg *telemetry.Registry) {
 			e.Gauge("fastppv_cache_bytes", "Result-cache bytes resident.", float64(cs.Bytes))
 			e.Gauge("fastppv_cache_budget_bytes", "Result-cache byte budget.", float64(cs.BudgetBytes))
 		}
+		ps := core.QueryPoolStats()
+		e.Counter("fastppv_query_pool_gets_total",
+			"Query working-set bundles taken from the pool.", float64(ps.Gets))
+		e.Counter("fastppv_query_pool_hits_total",
+			"Bundle acquisitions served by reuse instead of allocation.", float64(ps.Hits))
+		e.Gauge("fastppv_query_pool_hit_rate",
+			"Cumulative pool reuse rate (hits/gets); converges to ~1 at steady state.", ps.HitRate())
 		if s.engine == nil {
 			return
 		}
@@ -122,6 +130,14 @@ func (s *Server) registerCollectors(reg *telemetry.Registry) {
 				e.Gauge("fastppv_block_cache_entries", "Hub blocks resident in the block cache.", float64(st.Entries))
 				e.Gauge("fastppv_block_cache_bytes", "Bytes resident in the block cache.", float64(st.Bytes))
 			}
+		}
+		if ma, ok := index.(interface{ MmapActive() bool }); ok {
+			active := 0.0
+			if ma.MmapActive() {
+				active = 1
+			}
+			e.Gauge("fastppv_index_mmap_active",
+				"1 when the base index is served from a memory mapping (zero-copy views), 0 on the pread fallback.", active)
 		}
 		if dss, ok := index.(durabilityStatser); ok {
 			if st, enabled := dss.DurabilityStats(); enabled {

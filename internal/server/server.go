@@ -40,6 +40,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -557,7 +558,11 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 		return nil, err
 	}
 	res := qs.Run(stop)
-	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
+	deps := qs.HubDeps()
+	// Run materialized the result; Close recycles the pooled query buffers so
+	// a steady serving workload answers without per-query allocations.
+	qs.Close()
+	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded}
 	s.observeEngineResult(res, degraded)
 	if s.cache != nil && !degraded {
 		s.cache.Put(key, ans)
@@ -1189,11 +1194,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// encodeBufPool recycles response-encoding buffers: encoding into a pooled
+// buffer first (instead of straight into the ResponseWriter) sets an exact
+// Content-Length, avoids chunked framing, and keeps the encoder's scratch out
+// of the per-request allocation bill. Buffers that ballooned on a huge top-k
+// response are dropped instead of pinned in the pool.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledEncodeBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		encodeBufPool.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		return
+	}
+	// Encode terminates the body with a newline for stream framing; with an
+	// exact Content-Length it is dead weight on every response.
+	buf.Truncate(buf.Len() - 1)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledEncodeBuf {
+		encodeBufPool.Put(buf)
+	}
 }
 
 // writeError renders the structured error envelope: every failure carries a

@@ -163,7 +163,9 @@ func (s *Server) computeTraced(req queryRequest, traceID string) (*cachedAnswer,
 		return nil, nil, err
 	}
 	res := qs.Run(stop)
-	ans := &cachedAnswer{result: res, deps: qs.HubDeps(), degraded: degraded}
+	deps := qs.HubDeps()
+	qs.Close()
+	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded}
 	s.observeEngineResult(res, degraded)
 	tb := &TraceBlock{
 		TraceID:    traceID,

@@ -1,0 +1,316 @@
+// accumulator.go implements the flat sorted-slice accumulator used by the
+// query inner loop. The online stage of FastPPV (Sect. 5) repeatedly folds
+// scaled prime PPVs into a running estimate; doing that over map-based
+// Vectors costs a hash probe per entry plus a defensive clone per hub
+// (ExtensionVector). The Accumulator instead keeps entries as a []Entry
+// sorted by node id and folds each hub record in with a single linear merge,
+// reading the hub's entries either from a decoded Vector or directly from
+// the 12-byte on-disk record encoding (see EncodedEntrySize) without
+// materializing an intermediate map. Results convert back to the public
+// map-based Vector only at the API boundary.
+package sparse
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"fastppv/internal/graph"
+)
+
+// EncodedEntrySize is the size of one (node, score) entry in the flat record
+// encoding shared with the on-disk index format: node id as uint32 followed
+// by the IEEE-754 bits of the score as uint64, both little-endian. Entries in
+// an encoded record are sorted by ascending node id.
+const EncodedEntrySize = 12
+
+// PutEncodedEntry writes one encoded entry at the start of b, which must be
+// at least EncodedEntrySize bytes long.
+func PutEncodedEntry(b []byte, id graph.NodeID, score float64) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(id))
+	binary.LittleEndian.PutUint64(b[4:12], math.Float64bits(score))
+}
+
+// EncodedEntryAt decodes the i-th entry of an encoded record payload.
+func EncodedEntryAt(b []byte, i int) (graph.NodeID, float64) {
+	off := i * EncodedEntrySize
+	id := graph.NodeID(binary.LittleEndian.Uint32(b[off : off+4]))
+	score := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4 : off+12]))
+	return id, score
+}
+
+// extensionEpsilon is the threshold below which the self-loop-corrected score
+// of a hub's own entry is dropped, matching prime.ExtensionVector.
+const extensionEpsilon = 1e-15
+
+// Accumulator is a sparse score vector stored as a slice of entries sorted by
+// ascending node id. It is the zero-copy counterpart of Vector for the query
+// hot loop: merges are linear scans, the deterministic ordered sum is a plain
+// loop (entries are already in ascending node order), and no per-hub maps or
+// clones are allocated. An Accumulator is not safe for concurrent use.
+//
+// The zero value is ready to use; Reset makes an instance reusable without
+// releasing its backing storage, which is what makes pooling effective.
+type Accumulator struct {
+	entries []Entry // invariant: sorted by ascending Node, no duplicates
+	scratch []Entry // merge destination, swapped with entries after each fold
+	tmp     []Entry // staging area for unsorted (map) inputs
+	staged  []Entry // contributions staged by Stage* since the last Combine
+}
+
+// Reset truncates the accumulator to empty, retaining capacity.
+func (a *Accumulator) Reset() {
+	a.entries = a.entries[:0]
+	a.scratch = a.scratch[:0]
+	a.tmp = a.tmp[:0]
+	a.staged = a.staged[:0]
+}
+
+// Len returns the number of stored entries.
+func (a *Accumulator) Len() int { return len(a.entries) }
+
+// Entries returns the backing entry slice, sorted by ascending node id. The
+// slice aliases the accumulator's storage and is invalidated by the next
+// mutating call; callers must not modify or retain it.
+func (a *Accumulator) Entries() []Entry { return a.entries }
+
+// Get returns the score of id (zero when absent) via binary search.
+func (a *Accumulator) Get(id graph.NodeID) float64 {
+	i := sort.Search(len(a.entries), func(i int) bool { return a.entries[i].Node >= id })
+	if i < len(a.entries) && a.entries[i].Node == id {
+		return a.entries[i].Score
+	}
+	return 0
+}
+
+// SetVector replaces the accumulator's contents with the entries of v.
+func (a *Accumulator) SetVector(v Vector) {
+	a.entries = a.entries[:0]
+	for id, s := range v {
+		a.entries = append(a.entries, Entry{Node: id, Score: s})
+	}
+	sort.Slice(a.entries, func(i, j int) bool { return a.entries[i].Node < a.entries[j].Node })
+}
+
+// SetEncoded replaces the accumulator's contents with the entries of an
+// encoded record payload (len(data) must be a multiple of EncodedEntrySize;
+// entries must be sorted by ascending node id, as written by the index).
+func (a *Accumulator) SetEncoded(data []byte) {
+	n := len(data) / EncodedEntrySize
+	if cap(a.entries) < n {
+		a.entries = make([]Entry, 0, n)
+	}
+	a.entries = a.entries[:0]
+	for i := 0; i < n; i++ {
+		id, s := EncodedEntryAt(data, i)
+		a.entries = append(a.entries, Entry{Node: id, Score: s})
+	}
+}
+
+// Sum returns the total mass, accumulating in ascending node order. Because
+// entries are kept sorted, this is the same floating-point result as
+// Vector.SumOrdered over an equal vector — the byte-reproducibility contract
+// of the serving error bound — without the sort.
+func (a *Accumulator) Sum() float64 {
+	var total float64
+	for i := range a.entries {
+		total += a.entries[i].Score
+	}
+	return total
+}
+
+// ToVector materializes the accumulator as a public map-based Vector.
+func (a *Accumulator) ToVector() Vector {
+	out := New(len(a.entries))
+	for _, e := range a.entries {
+		out[e.Node] = e.Score
+	}
+	return out
+}
+
+// AddAccumulator folds other into a entry-wise (a += other) with a single
+// linear merge. It is the sorted-slice analogue of Vector.AddVector.
+func (a *Accumulator) AddAccumulator(other *Accumulator) {
+	if len(other.entries) == 0 {
+		return
+	}
+	out := a.scratch[:0]
+	i := 0
+	for _, e := range other.entries {
+		for i < len(a.entries) && a.entries[i].Node < e.Node {
+			out = append(out, a.entries[i])
+			i++
+		}
+		if i < len(a.entries) && a.entries[i].Node == e.Node {
+			out = append(out, Entry{Node: e.Node, Score: a.entries[i].Score + e.Score})
+			i++
+		} else {
+			out = append(out, e)
+		}
+	}
+	out = append(out, a.entries[i:]...)
+	a.entries, a.scratch = out, a.entries
+}
+
+// AccumulateEncodedExtension folds scale times the extension vector of an
+// encoded hub record into the accumulator: a += scale * ext(record), where
+// ext applies the Theorem 4 self-loop correction inline — the owner hub's own
+// entry contributes (score − alpha), and is dropped entirely when the
+// corrected score falls below a small epsilon. This fuses
+// prime.ExtensionVector (which clones the prime PPV) and Vector.AddScaled
+// into one allocation-free pass over the record bytes. The per-node
+// floating-point operation is identical (old + scale*score), so results are
+// bit-equal to the map-based path.
+func (a *Accumulator) AccumulateEncodedExtension(data []byte, scale float64, owner graph.NodeID, alpha float64) {
+	n := len(data) / EncodedEntrySize
+	if n == 0 {
+		return
+	}
+	out := a.scratch[:0]
+	i := 0
+	for j := 0; j < n; j++ {
+		node, score := EncodedEntryAt(data, j)
+		if node == owner {
+			score -= alpha
+			if score <= extensionEpsilon {
+				continue
+			}
+		}
+		for i < len(a.entries) && a.entries[i].Node < node {
+			out = append(out, a.entries[i])
+			i++
+		}
+		if i < len(a.entries) && a.entries[i].Node == node {
+			out = append(out, Entry{Node: node, Score: a.entries[i].Score + scale*score})
+			i++
+		} else {
+			out = append(out, Entry{Node: node, Score: scale * score})
+		}
+	}
+	out = append(out, a.entries[i:]...)
+	a.entries, a.scratch = out, a.entries
+}
+
+// StageEncodedExtension appends scale times the extension vector of an
+// encoded hub record to the staging buffer without merging: a Step expands
+// many hubs, and merging each record into the growing increment immediately
+// costs O(|increment|) per hub. Staging is O(|record|) per hub; Combine then
+// folds everything staged with one stable sort. The owner self-loop
+// correction is applied here, identically to AccumulateEncodedExtension.
+//
+// Callers must stage hubs in ascending owner order and call Combine before
+// reading the accumulator: the stable sort keys on node id only, so the
+// per-node contribution order (and with it bit-reproducibility against the
+// sequential merge) is the staging order.
+func (a *Accumulator) StageEncodedExtension(data []byte, scale float64, owner graph.NodeID, alpha float64) {
+	n := len(data) / EncodedEntrySize
+	for j := 0; j < n; j++ {
+		node, score := EncodedEntryAt(data, j)
+		if node == owner {
+			score -= alpha
+			if score <= extensionEpsilon {
+				continue
+			}
+		}
+		a.staged = append(a.staged, Entry{Node: node, Score: scale * score})
+	}
+}
+
+// StageVectorExtension is StageEncodedExtension for a map-based prime PPV.
+// Map iteration order does not matter here: a single hub record holds each
+// node at most once, so the cross-hub per-node contribution order is fixed by
+// the staging order of whole hubs, not by the order within one record.
+func (a *Accumulator) StageVectorExtension(v Vector, scale float64, owner graph.NodeID, alpha float64) {
+	for id, s := range v {
+		if id == owner {
+			s -= alpha
+			if s <= extensionEpsilon {
+				continue
+			}
+		}
+		a.staged = append(a.staged, Entry{Node: id, Score: scale * s})
+	}
+}
+
+// Combine folds every staged contribution into the accumulator. Duplicated
+// nodes are summed in staging order (stable sort), which reproduces the
+// floating-point addition sequence of merging the staged hubs one at a time —
+// the bit-reproducibility contract — at O(E log E) for E staged entries
+// instead of O(hubs x |accumulator|).
+func (a *Accumulator) Combine() {
+	if len(a.staged) == 0 {
+		return
+	}
+	sort.SliceStable(a.staged, func(i, j int) bool { return a.staged[i].Node < a.staged[j].Node })
+	folded := a.tmp[:0]
+	cur := a.staged[0]
+	for _, e := range a.staged[1:] {
+		if e.Node == cur.Node {
+			cur.Score += e.Score
+		} else {
+			folded = append(folded, cur)
+			cur = e
+		}
+	}
+	folded = append(folded, cur)
+	a.tmp = folded
+	a.staged = a.staged[:0]
+
+	if len(a.entries) == 0 {
+		a.entries = append(a.entries[:0], folded...)
+		return
+	}
+	out := a.scratch[:0]
+	i := 0
+	for _, e := range folded {
+		for i < len(a.entries) && a.entries[i].Node < e.Node {
+			out = append(out, a.entries[i])
+			i++
+		}
+		if i < len(a.entries) && a.entries[i].Node == e.Node {
+			out = append(out, Entry{Node: e.Node, Score: a.entries[i].Score + e.Score})
+			i++
+		} else {
+			out = append(out, e)
+		}
+	}
+	out = append(out, a.entries[i:]...)
+	a.entries, a.scratch = out, a.entries
+}
+
+// AccumulateVectorExtension is AccumulateEncodedExtension for a map-based
+// prime PPV: the fallback when a hub record is only available as a decoded
+// Vector (in-memory indexes, overlay records, recompute-on-miss). The input
+// is staged and sorted into an internal buffer before the merge.
+func (a *Accumulator) AccumulateVectorExtension(v Vector, scale float64, owner graph.NodeID, alpha float64) {
+	if len(v) == 0 {
+		return
+	}
+	a.tmp = a.tmp[:0]
+	for id, s := range v {
+		if id == owner {
+			s -= alpha
+			if s <= extensionEpsilon {
+				continue
+			}
+		}
+		a.tmp = append(a.tmp, Entry{Node: id, Score: s})
+	}
+	sort.Slice(a.tmp, func(i, j int) bool { return a.tmp[i].Node < a.tmp[j].Node })
+	out := a.scratch[:0]
+	i := 0
+	for _, e := range a.tmp {
+		for i < len(a.entries) && a.entries[i].Node < e.Node {
+			out = append(out, a.entries[i])
+			i++
+		}
+		if i < len(a.entries) && a.entries[i].Node == e.Node {
+			out = append(out, Entry{Node: e.Node, Score: a.entries[i].Score + scale*e.Score})
+			i++
+		} else {
+			out = append(out, Entry{Node: e.Node, Score: scale * e.Score})
+		}
+	}
+	out = append(out, a.entries[i:]...)
+	a.entries, a.scratch = out, a.entries
+}

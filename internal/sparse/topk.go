@@ -2,9 +2,14 @@ package sparse
 
 import (
 	"container/heap"
+	"sync"
 
 	"fastppv/internal/graph"
 )
+
+// topkHeapPool recycles the bounded min-heap used by TopK across queries so
+// the serving render path does not allocate a fresh heap per response.
+var topkHeapPool = sync.Pool{New: func() any { return new(entryMinHeap) }}
 
 // TopK returns the k highest-scoring entries of v in descending score order
 // (ties broken by ascending node id). It runs in O(len(v) log k), avoiding a
@@ -17,7 +22,8 @@ func (v Vector) TopK(k int) []Entry {
 	if k >= len(v) {
 		return v.Entries()
 	}
-	h := make(entryMinHeap, 0, k+1)
+	hp := topkHeapPool.Get().(*entryMinHeap)
+	h := (*hp)[:0]
 	for id, s := range v {
 		e := Entry{Node: id, Score: s}
 		if len(h) < k {
@@ -34,6 +40,8 @@ func (v Vector) TopK(k int) []Entry {
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(Entry)
 	}
+	*hp = h[:0]
+	topkHeapPool.Put(hp)
 	return out
 }
 

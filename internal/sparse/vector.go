@@ -26,9 +26,10 @@ func New(sizeHint int) Vector {
 }
 
 // FromDense converts a dense score slice into a sparse vector, dropping exact
-// zeros.
+// zeros. The capacity hint assumes the worst case (no zeros) so a fully dense
+// input does not rehash the map repeatedly while filling.
 func FromDense(dense []float64) Vector {
-	v := New(len(dense) / 4)
+	v := New(len(dense))
 	for i, s := range dense {
 		if s != 0 {
 			v[graph.NodeID(i)] = s
@@ -37,15 +38,28 @@ func FromDense(dense []float64) Vector {
 	return v
 }
 
-// Dense converts v into a dense slice of length n.
+// Dense converts v into a dense slice of length n. Entries whose node id is
+// >= n are truncated: they do not fit in the requested slice and are silently
+// dropped, so Dense(n) only round-trips vectors defined over nodes [0, n).
+// Callers that need to detect out-of-range ids should use DenseChecked.
 func (v Vector) Dense(n int) []float64 {
+	out, _ := v.DenseChecked(n)
+	return out
+}
+
+// DenseChecked converts v into a dense slice of length n and additionally
+// returns the number of entries dropped because their node id was >= n.
+func (v Vector) DenseChecked(n int) ([]float64, int) {
 	out := make([]float64, n)
+	dropped := 0
 	for id, s := range v {
 		if int(id) < n {
 			out[id] = s
+		} else {
+			dropped++
 		}
 	}
-	return out
+	return out, dropped
 }
 
 // Clone returns a deep copy of v.

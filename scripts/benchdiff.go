@@ -1,0 +1,126 @@
+// Command benchdiff compares two BENCH_*.json perf-trajectory artifacts
+// (internal/benchfmt schema) and fails when the newer run regressed past a
+// tolerance. It is the CI gate that keeps the standing serving benchmark an
+// enforced contract rather than a decorative artifact:
+//
+//	go run ./scripts BENCH_6.json BENCH_7.json
+//	go run ./scripts -max-regress 0.10 OLD.json NEW.json
+//
+// Every headline metric is printed with its relative delta. Two of them gate
+// the exit status: warm_read_ns (the per-hub-block read cost on the serving
+// hot path) must not rise by more than the tolerance, and qps must not fall
+// by more than it. The remaining metrics — tail latency, response size,
+// allocations per query — are informational: they move with workload shape
+// and host load, so they are surfaced for review instead of hard-failing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fastppv/internal/benchfmt"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.10,
+		"maximum tolerated relative regression of the gated metrics (0.10 = 10%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-max-regress frac] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%%)\n", flag.Arg(0), flag.Arg(1), *maxRegress*100)
+	fmt.Printf("%-18s %14s %14s %9s\n", "metric", "old", "new", "delta")
+
+	failures := 0
+	// Gated metrics: lower warm-read cost is better, higher qps is better.
+	failures += row("warm_read_ns", oldRep.WarmReadNS, newRep.WarmReadNS, lowerIsBetter, *maxRegress)
+	failures += row("qps", oldRep.QPS, newRep.QPS, higherIsBetter, *maxRegress)
+	// Informational metrics.
+	row("cold_read_ns", oldRep.ColdReadNS, newRep.ColdReadNS, lowerIsBetter, 0)
+	row("latency_p50_ms", oldRep.LatencyMS.P50, newRep.LatencyMS.P50, lowerIsBetter, 0)
+	row("latency_p99_ms", oldRep.LatencyMS.P99, newRep.LatencyMS.P99, lowerIsBetter, 0)
+	row("bytes_per_query", oldRep.BytesPerQuery, newRep.BytesPerQuery, lowerIsBetter, 0)
+	row("allocs_per_query", oldRep.AllocsPerQuery, newRep.AllocsPerQuery, lowerIsBetter, 0)
+	row("cache_hit_rate", oldRep.CacheHitRate, newRep.CacheHitRate, higherIsBetter, 0)
+	row("pool_hit_rate", oldRep.PoolHitRate, newRep.PoolHitRate, higherIsBetter, 0)
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) regressed more than %.0f%%\n",
+			failures, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: gated metrics within tolerance")
+}
+
+type direction int
+
+const (
+	lowerIsBetter direction = iota
+	higherIsBetter
+)
+
+// row prints one metric comparison and reports 1 when it is gated
+// (maxRegress > 0) and regressed past the tolerance. A metric absent from
+// either report (zero — e.g. an additive field an older artifact predates)
+// is shown but never gates.
+func row(name string, oldV, newV float64, dir direction, maxRegress float64) int {
+	delta := "n/a"
+	regressed := false
+	if oldV != 0 && newV != 0 {
+		rel := (newV - oldV) / oldV
+		delta = fmt.Sprintf("%+8.1f%%", rel*100)
+		if maxRegress > 0 {
+			switch dir {
+			case lowerIsBetter:
+				regressed = rel > maxRegress
+			case higherIsBetter:
+				regressed = rel < -maxRegress
+			}
+		}
+	}
+	mark := ""
+	if regressed {
+		mark = "  << REGRESSION"
+	}
+	fmt.Printf("%-18s %14.3f %14.3f %9s%s\n", name, oldV, newV, delta, mark)
+	if regressed {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (*benchfmt.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != benchfmt.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, benchfmt.Schema)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
