@@ -102,6 +102,7 @@ func run(args []string) error {
 	hubs := fs.Int("hubs", 0, "number of hubs (0 = choose automatically)")
 	shardSpec := fs.String("shard", "", "serve one hub partition, as \"i/n\" (shard i of n)")
 	routerTargets := fs.String("router", "", "run as a cluster router over these comma-separated shard URLs (no local engine)")
+	clusterTransport := fs.String("cluster-transport", "binary", "-router shard transport: binary (persistent streams, JSON fallback) or json")
 	warmHubs := fs.Int("warm-hubs", 0, "preload this many of the hottest hub blocks into the block cache at startup")
 	indexPath := fs.String("index", "", "serve from this on-disk index file (opened if present, precomputed into it otherwise)")
 	blockCacheBytes := fs.Int64("block-cache-bytes", 0, "hub-block cache budget for -index mode (0 = 64 MiB default, negative disables)")
@@ -154,9 +155,10 @@ func run(args []string) error {
 		}
 		targets := strings.Split(*routerTargets, ",")
 		rt, err := cluster.NewRouter(cluster.RouterConfig{
-			Targets:  targets,
-			Registry: registry,
-			Logger:   logger,
+			Targets:   targets,
+			Transport: *clusterTransport,
+			Registry:  registry,
+			Logger:    logger,
 		})
 		if err != nil {
 			return err
@@ -164,7 +166,8 @@ func run(args []string) error {
 		defer rt.Close()
 		st := rt.Stats()
 		logger.Info("routing across shards",
-			"shards", len(st.Shards), "healthy", st.ShardsHealthy, "nodes", st.Nodes)
+			"shards", len(st.Shards), "healthy", st.ShardsHealthy,
+			"transport", st.Transport, "nodes", st.Nodes)
 		srv, err := server.NewRouter(rt, srvCfg)
 		if err != nil {
 			return err
@@ -264,6 +267,12 @@ func serve(addr string, srv *server.Server, logger *slog.Logger) error {
 		return err
 	case sig := <-sigc:
 		logger.Info("shutting down", "signal", sig.String())
+		// Hijacked stream connections are invisible to http.Server.Shutdown;
+		// close them explicitly so routers reconnect to another shard instead
+		// of waiting on a dead stream.
+		if n := srv.CloseStreams(); n > 0 {
+			logger.Info("closed binary streams", "streams", n)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)

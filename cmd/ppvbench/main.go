@@ -54,6 +54,9 @@ func main() {
 		mmap        = flag.Bool("mmap", true, "-serve: serve the read-cost index from a memory mapping (zero-copy views); falls back to pread when unsupported")
 		logFormat   = flag.String("log-format", "text", "-serve: log output format, text or json")
 		logLevel    = flag.String("log-level", "info", "-serve: minimum log level")
+
+		clusterTransport = flag.String("cluster-transport", "binary",
+			"-serve: shard transport of the cluster pass, binary or json (empty skips the pass)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,8 @@ func main() {
 			mmap:        *mmap,
 			logFormat:   *logFormat,
 			logLevel:    *logLevel,
+
+			clusterTransport: *clusterTransport,
 		}); err != nil {
 			log.Fatal(err)
 		}

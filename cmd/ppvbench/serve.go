@@ -22,6 +22,7 @@ import (
 
 	"fastppv"
 	"fastppv/internal/benchfmt"
+	"fastppv/internal/cluster"
 	"fastppv/internal/core"
 	"fastppv/internal/gen"
 	"fastppv/internal/ppvindex"
@@ -52,6 +53,10 @@ type serveConfig struct {
 	mmap        bool
 	logFormat   string
 	logLevel    string
+
+	// clusterTransport selects the shard transport of the cluster comparison
+	// pass ("binary" or "json"); empty skips the pass.
+	clusterTransport string
 }
 
 // runServe executes the serving benchmark and writes the benchfmt report.
@@ -118,6 +123,13 @@ func runServe(cfg serveConfig) error {
 		return err
 	}
 
+	var cl clusterPassResult
+	if cfg.clusterTransport != "" {
+		if cl, err = clusterPass(g, size.hubs, cfg, logger); err != nil {
+			return err
+		}
+	}
+
 	report := &benchfmt.Report{
 		Source:    "ppvbench-serve",
 		Mode:      "engine",
@@ -146,6 +158,12 @@ func runServe(cfg serveConfig) error {
 		AllocsPerQuery: allocsPerQuery,
 		PoolHitRate:    poolStats.HitRate(),
 		MmapActive:     mmapActive,
+
+		ClusterP50MS:         cl.p50MS,
+		ClusterVsSingleRatio: cl.vsSingleRatio,
+		ClusterTransport:     cl.transport,
+		SpeculationHitRate:   cl.specHitRate,
+		WireBytesPerQuery:    cl.wireBytesPerQuery,
 	}
 	if err := benchfmt.WriteFile(cfg.out, report); err != nil {
 		return err
@@ -158,8 +176,152 @@ func runServe(cfg serveConfig) error {
 		"cold_read_ns", fmt.Sprintf("%.0f", coldNS),
 		"allocs_per_query", fmt.Sprintf("%.1f", allocsPerQuery),
 		"pool_hit_rate", fmt.Sprintf("%.3f", poolStats.HitRate()),
-		"mmap", mmapActive)
+		"mmap", mmapActive,
+		"cluster_p50_ms", fmt.Sprintf("%.3f", cl.p50MS),
+		"cluster_vs_single_ratio", fmt.Sprintf("%.2f", cl.vsSingleRatio),
+		"speculation_hit_rate", fmt.Sprintf("%.3f", cl.specHitRate),
+		"wire_bytes_per_query", fmt.Sprintf("%.0f", cl.wireBytesPerQuery))
 	return nil
+}
+
+type clusterPassResult struct {
+	p50MS             float64
+	vsSingleRatio     float64
+	transport         string
+	specHitRate       float64
+	wireBytesPerQuery float64
+}
+
+// clusterPass replays the workload through a 2-shard cluster — shard daemons
+// with the production /v1/stream handler, a router on the configured
+// transport, and a router-fronting server — and through an uncached
+// single-node server over the same engine partitioning-free, so the ratio
+// compares computation paths, not cache hit rates.
+func clusterPass(g *fastppv.Graph, numHubs int, cfg serveConfig, logger interface {
+	Info(msg string, args ...any)
+}) (clusterPassResult, error) {
+	var res clusterPassResult
+
+	serveEngine := func(e *core.Engine) (string, func(), error) {
+		srv, err := server.New(e, server.Config{CacheBytes: -1})
+		if err != nil {
+			return "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return "http://" + ln.Addr().String(), func() { srv.CloseStreams(); hs.Close() }, nil
+	}
+
+	const shards = 2
+	targets := make([]string, shards)
+	logger.Info("precomputing sharded engines for the cluster pass", "shards", shards, "transport", cfg.clusterTransport)
+	for i := 0; i < shards; i++ {
+		e, err := core.NewEngine(g, nil, core.Options{
+			NumHubs:   numHubs,
+			Partition: core.Partition{Shard: i, Shards: shards},
+		})
+		if err != nil {
+			return res, err
+		}
+		if err := e.Precompute(); err != nil {
+			return res, err
+		}
+		base, stop, err := serveEngine(e)
+		if err != nil {
+			return res, err
+		}
+		defer stop()
+		targets[i] = base
+	}
+
+	// The uncached single-node reference recomputes the full index once.
+	single, err := core.NewEngine(g, nil, core.Options{NumHubs: numHubs})
+	if err != nil {
+		return res, err
+	}
+	if err := single.Precompute(); err != nil {
+		return res, err
+	}
+	singleBase, stopSingle, err := serveEngine(single)
+	if err != nil {
+		return res, err
+	}
+	defer stopSingle()
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Targets:        targets,
+		HealthInterval: -1,
+		Transport:      cfg.clusterTransport,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer rt.Close()
+	rsrv, err := server.NewRouter(rt, server.Config{CacheBytes: -1})
+	if err != nil {
+		return res, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	rhs := &http.Server{Handler: rsrv.Handler()}
+	go rhs.Serve(rln)
+	defer rhs.Close()
+	routerBase := "http://" + rln.Addr().String()
+
+	// Warm both stacks (connections, streams, block layout) with a slice of
+	// the workload before the timed passes.
+	warm := cfg
+	warm.requests = cfg.requests / 10
+	if warm.requests < 10 {
+		warm.requests = 10
+	}
+	if _, _, _, _, _, _, err := driveWorkload(routerBase, g.NumNodes(), warm); err != nil {
+		return res, err
+	}
+	if _, _, _, _, _, _, err := driveWorkload(singleBase, g.NumNodes(), warm); err != nil {
+		return res, err
+	}
+
+	statsBefore := rt.Stats()
+	_, clusterLat, _, _, _, clusterFailures, err := driveWorkload(routerBase, g.NumNodes(), cfg)
+	if err != nil {
+		return res, err
+	}
+	statsAfter := rt.Stats()
+	if clusterFailures > 0 {
+		return res, fmt.Errorf("cluster pass had %d failed requests", clusterFailures)
+	}
+	_, singleLat, _, _, _, _, err := driveWorkload(singleBase, g.NumNodes(), cfg)
+	if err != nil {
+		return res, err
+	}
+
+	res.transport = statsAfter.Transport
+	res.p50MS = benchfmt.SummarizeDurations(clusterLat).P50
+	singleP50 := benchfmt.SummarizeDurations(singleLat).P50
+	if singleP50 > 0 {
+		res.vsSingleRatio = res.p50MS / singleP50
+	}
+	if sent := statsAfter.SpeculationsSent - statsBefore.SpeculationsSent; sent > 0 {
+		res.specHitRate = float64(statsAfter.SpeculationHits-statsBefore.SpeculationHits) / float64(sent)
+	}
+	wire := (statsAfter.WireBytesSent - statsBefore.WireBytesSent) +
+		(statsAfter.WireBytesReceived - statsBefore.WireBytesReceived)
+	res.wireBytesPerQuery = float64(wire) / float64(len(clusterLat))
+	logger.Info("cluster pass complete",
+		"transport", res.transport,
+		"cluster_p50_ms", fmt.Sprintf("%.3f", res.p50MS),
+		"single_p50_ms", fmt.Sprintf("%.3f", singleP50),
+		"ratio", fmt.Sprintf("%.2f", res.vsSingleRatio),
+		"speculation_hit_rate", fmt.Sprintf("%.3f", res.specHitRate),
+		"wire_bytes_per_query", fmt.Sprintf("%.0f", res.wireBytesPerQuery))
+	return res, nil
 }
 
 // driveWorkload replays the Zipfian query workload over HTTP and returns the

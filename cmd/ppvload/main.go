@@ -73,14 +73,25 @@ type serverStats struct {
 		Bytes   int64 `json:"bytes"`
 	} `json:"block_cache"`
 	Cluster *struct {
-		ShardsHealthy int `json:"shards_healthy"`
-		Shards        []struct {
+		ShardsHealthy    int    `json:"shards_healthy"`
+		Transport        string `json:"transport"`
+		SpeculationsSent int64  `json:"speculations_sent"`
+		SpeculationHits  int64  `json:"speculation_hits"`
+		WireBytesSent    int64  `json:"wire_bytes_sent"`
+		WireBytesRecv    int64  `json:"wire_bytes_received"`
+		Shards           []struct {
 			Shard         int     `json:"shard"`
 			Target        string  `json:"target"`
 			Healthy       bool    `json:"healthy"`
 			Requests      int64   `json:"requests"`
 			Failures      int64   `json:"failures"`
 			MeanLatencyMS float64 `json:"mean_latency_ms"`
+			Transport     struct {
+				Kind             string `json:"kind"`
+				StreamConnected  bool   `json:"stream_connected"`
+				Reconnects       int64  `json:"reconnects"`
+				FallbackRequests int64  `json:"fallback_requests"`
+			} `json:"transport"`
 		} `json:"shards"`
 	} `json:"cluster"`
 	Admission struct {
@@ -460,10 +471,29 @@ func reportTarget(out io.Writer, tgt string, before *serverStats, prefix bool) e
 			pfx, rate*100, bc.Entries, float64(bc.Bytes)/(1<<20), bc.Loads)
 	}
 	if after.Cluster != nil {
-		fmt.Fprintf(out, "%scluster: %d/%d shards healthy\n", pfx, after.Cluster.ShardsHealthy, len(after.Cluster.Shards))
-		for _, sh := range after.Cluster.Shards {
-			fmt.Fprintf(out, "%s  shard %d %s: healthy=%v requests=%d failures=%d mean=%.2fms\n",
-				pfx, sh.Shard, sh.Target, sh.Healthy, sh.Requests, sh.Failures, sh.MeanLatencyMS)
+		c := after.Cluster
+		specRate := 0.0
+		if c.SpeculationsSent > 0 {
+			specRate = float64(c.SpeculationHits) / float64(c.SpeculationsSent)
+		}
+		fmt.Fprintf(out, "%scluster: %d/%d shards healthy, %s transport, %.1f%% speculation hit rate, %.2f MB on the wire (lifetime)\n",
+			pfx, c.ShardsHealthy, len(c.Shards), c.Transport, specRate*100,
+			float64(c.WireBytesSent+c.WireBytesRecv)/(1<<20))
+		for _, sh := range c.Shards {
+			link := sh.Transport.Kind
+			if sh.Transport.StreamConnected {
+				link = "stream up"
+			} else if sh.Transport.Kind == "binary" {
+				link = "stream down"
+			}
+			if sh.Transport.FallbackRequests > 0 {
+				link += fmt.Sprintf(", %d JSON fallbacks", sh.Transport.FallbackRequests)
+			}
+			if sh.Transport.Reconnects > 0 {
+				link += fmt.Sprintf(", %d reconnects", sh.Transport.Reconnects)
+			}
+			fmt.Fprintf(out, "%s  shard %d %s: healthy=%v %s requests=%d failures=%d mean=%.2fms\n",
+				pfx, sh.Shard, sh.Target, sh.Healthy, "("+link+")", sh.Requests, sh.Failures, sh.MeanLatencyMS)
 		}
 	}
 	fmt.Fprintf(out, "%sserver admission: admitted=%d degraded=%d coalesced=%d (lifetime)\n",

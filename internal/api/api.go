@@ -161,6 +161,15 @@ type PartialRequest struct {
 	// Iteration is the router's iteration number for this expansion; it only
 	// feeds shard-side logging and stats.
 	Iteration int `json:"iteration,omitempty"`
+	// Speculative marks an expansion the router pre-sent before committing to
+	// the iteration: the shard may discard it (answering CodeStaleSpeculation)
+	// if a cancel for FrontierHash arrives before it starts computing. The
+	// fields ride along in JSON too, so speculation works — minus the
+	// cancel fast-path — over the fallback transport.
+	Speculative bool `json:"speculative,omitempty"`
+	// FrontierHash identifies the frontier of a speculative expansion
+	// (api.Vector.Hash); the cancel protocol matches on it.
+	FrontierHash uint64 `json:"frontier_hash,omitempty"`
 }
 
 // PartialResponse is the body answering a partial request.

@@ -62,6 +62,23 @@ type Report struct {
 	// MmapActive reports whether the disk read-cost passes served the index
 	// from a memory mapping (zero-copy views) rather than pread. Additive.
 	MmapActive bool `json:"mmap_active,omitempty"`
+
+	// ClusterP50MS is the warm p50 latency of the same workload replayed
+	// through a 2-shard router over the binary streaming transport, and
+	// ClusterVsSingleRatio divides it by the single-node warm p50 (the ISSUE-8
+	// target is <= 2.0). Additive fields of the cluster pass (ppvbench -serve
+	// only); older reports omit them.
+	ClusterP50MS         float64 `json:"cluster_p50_ms,omitempty"`
+	ClusterVsSingleRatio float64 `json:"cluster_vs_single_ratio,omitempty"`
+	// ClusterTransport names the shard transport the cluster pass used
+	// ("binary" or "json").
+	ClusterTransport string `json:"cluster_transport,omitempty"`
+	// SpeculationHitRate is consumed pre-sent iterations / pre-sent iterations
+	// across the cluster pass (1.0 when no query stops early).
+	SpeculationHitRate float64 `json:"speculation_hit_rate,omitempty"`
+	// WireBytesPerQuery is the mean bytes on the shard wire (both directions)
+	// per routed query in the cluster pass.
+	WireBytesPerQuery float64 `json:"wire_bytes_per_query,omitempty"`
 }
 
 // GraphInfo describes the dataset the run was served from.

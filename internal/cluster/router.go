@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -46,6 +47,14 @@ type RouterConfig struct {
 	Client *http.Client
 	// RequestTimeout bounds one partial sub-request; zero means 10s.
 	RequestTimeout time.Duration
+	// Transport selects how partial sub-requests reach shards: TransportBinary
+	// (persistent multiplexed binary streams with per-shard JSON fallback; the
+	// default) or TransportJSON (one HTTP POST per sub-request).
+	Transport string
+	// DisableSpeculation turns off pre-sending the next iteration's frontier
+	// while the current one folds. Mainly for differential testing; the
+	// speculative path never changes answers, only overlaps work.
+	DisableSpeculation bool
 	// HealthInterval is the period of the background shard health probe; zero
 	// means 2s, negative disables the probe (health then only changes
 	// passively, on request outcomes).
@@ -71,8 +80,15 @@ type Router struct {
 	// only thing that can restore them), trading bounded tail latency for
 	// liveness.
 	passive bool
-	logger  *slog.Logger
-	met     routerMetrics
+	// speculate enables pre-sending the next iteration's frontier before the
+	// current estimate fold and stop check run.
+	speculate bool
+	transport string
+	logger    *slog.Logger
+	met       routerMetrics
+
+	specSent atomic.Int64
+	specHits atomic.Int64
 
 	numNodes atomic.Int64
 	// clusterEpoch is the highest index epoch the router has observed on any
@@ -109,6 +125,9 @@ type shardClient struct {
 	// leg is the shard's pre-resolved latency histogram child, so the hot
 	// path never touches the registry's label map.
 	leg *telemetry.Histogram
+
+	// tr carries this shard's partial sub-requests (binary stream or JSON).
+	tr Transport
 }
 
 // setEpoch records the shard's last observed epoch.
@@ -155,7 +174,30 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{}
+		// The stdlib zero client has no timeout and keeps only 2 idle
+		// connections per host — one scatter-gather fan-out would re-dial
+		// shards on every iteration. Size the idle pool to the fan-out width
+		// and give the JSON (fallback) path a real deadline too.
+		client = &http.Client{
+			Timeout: cfg.RequestTimeout + time.Second,
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   5 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				MaxIdleConns:        32 * len(cfg.Targets),
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	switch cfg.Transport {
+	case "", TransportBinary:
+		cfg.Transport = TransportBinary
+	case TransportJSON:
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q (want %q or %q)",
+			cfg.Transport, TransportBinary, TransportJSON)
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -170,6 +212,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		client:     client,
 		timeout:    cfg.RequestTimeout,
 		passive:    cfg.HealthInterval < 0,
+		speculate:  !cfg.DisableSpeculation,
+		transport:  cfg.Transport,
 		logger:     logger,
 		met:        newRouterMetrics(reg),
 		stopHealth: make(chan struct{}),
@@ -182,6 +226,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		}
 		s := &shardClient{index: i, target: target, leg: r.met.legLatency.With(strconv.Itoa(i))}
 		s.epoch.Store(-1)
+		if cfg.Transport == TransportBinary {
+			s.tr = newStreamTransport(target, i, client, r.timeout, logger)
+		} else {
+			s.tr = newJSONTransport(target, client, r.timeout)
+		}
 		r.shards = append(r.shards, s)
 	}
 	r.registerCollector(reg)
@@ -205,9 +254,14 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return r, nil
 }
 
-// Close stops the background health loop.
+// Close stops the background health loop and tears down shard transports.
 func (r *Router) Close() {
-	r.closeOnce.Do(func() { close(r.stopHealth) })
+	r.closeOnce.Do(func() {
+		close(r.stopHealth)
+		for _, s := range r.shards {
+			s.tr.Close()
+		}
+	})
 	r.healthWG.Wait()
 }
 
@@ -343,29 +397,31 @@ func shardFault(err error) bool {
 	var aerr *api.Error
 	if errors.As(err, &aerr) {
 		switch aerr.Code {
-		case api.CodeBadRequest, api.CodeOverloaded, api.CodeConflict, api.CodeUnsupported:
+		case api.CodeBadRequest, api.CodeOverloaded, api.CodeConflict, api.CodeUnsupported,
+			api.CodeStaleSpeculation:
 			return false
 		}
 	}
 	return true
 }
 
-// partial performs one /v1/partial call against shard s, retrying once when
-// the shard reports the transient CodeRetry condition (its index descriptor
-// was swapped mid-read, e.g. by a compaction or restart). A shard-fault
-// failure marks the shard unhealthy (the background probe restores it); a
-// success marks it healthy, which is what brings a shard back in passive
-// mode.
-func (r *Router) partial(s *shardClient, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
-	body, err := json.Marshal(preq)
-	if err != nil {
-		return nil, err
-	}
+// partial performs one partial sub-request against shard s over its
+// transport, retrying once when the shard reports the transient CodeRetry
+// condition (its index descriptor was swapped mid-read, e.g. by a compaction
+// or restart). A shard-fault failure marks the shard unhealthy (the
+// background probe restores it); a success marks it healthy, which is what
+// brings a shard back in passive mode. A cancelled context (an abandoned
+// speculative pre-send) is not a shard outcome at all: neither latency nor
+// health is recorded for it.
+func (r *Router) partial(ctx context.Context, s *shardClient, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
 	start := time.Now()
-	resp, err := r.partialOnce(s, body, traceID)
+	resp, err := s.tr.Partial(ctx, preq, traceID)
 	if aerr, ok := err.(*api.Error); ok && aerr.Code == api.CodeRetry {
 		s.retries.Add(1)
-		resp, err = r.partialOnce(s, body, traceID)
+		resp, err = s.tr.Partial(ctx, preq, traceID)
+	}
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	s.observe(time.Since(start), err != nil)
 	if err != nil {
@@ -383,36 +439,6 @@ func (r *Router) partial(s *shardClient, preq *api.PartialRequest, traceID strin
 	r.observeEpoch(resp.Epoch)
 	r.setShardHealth(s, true)
 	return resp, nil
-}
-
-func (r *Router) partialOnce(s *shardClient, body []byte, traceID string) (*api.PartialResponse, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.target+"/v1/partial", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if traceID != "" {
-		req.Header.Set(api.TraceHeader, traceID)
-	}
-	resp, err := r.client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var eresp api.ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&eresp); err == nil && eresp.Error.Code != "" {
-			return nil, &eresp.Error
-		}
-		return nil, fmt.Errorf("cluster: %s/v1/partial returned status %d", s.target, resp.StatusCode)
-	}
-	var presp api.PartialResponse
-	if err := json.NewDecoder(resp.Body).Decode(&presp); err != nil {
-		return nil, fmt.Errorf("cluster: decoding partial response from %s: %w", s.target, err)
-	}
-	return &presp, nil
 }
 
 // Result is the outcome of one routed cluster query. Estimate and
@@ -453,6 +479,14 @@ type Result struct {
 	// RootFromIndex reports whether iteration 0 was served from a stored
 	// prime PPV (the query node is a hub) rather than computed on the fly.
 	RootFromIndex bool
+	// SpeculationsSent counts iterations whose shard requests were pre-sent
+	// before the previous iteration's fold and stop check ran;
+	// SpeculationHits counts how many of those pre-sends the loop actually
+	// consumed (the rest were cancelled by an early stop). Speculation never
+	// changes the answer — a consumed pre-send carries bit-identical requests
+	// to what the loop would have sent.
+	SpeculationsSent int
+	SpeculationHits  int
 	// Spans holds one trace span per processed iteration (including iteration
 	// 0), each with one leg entry per shard sub-request. Always collected:
 	// the cost is bounded by iterations x shards, negligible next to the
@@ -521,8 +555,22 @@ func (r *Router) QueryTrace(q graph.NodeID, stop core.StopCondition, traceID str
 	res.Spans = append(res.Spans, span)
 
 	maxIter := stop.EffectiveMaxIterations()
+	// spec holds the one in-flight speculative pre-send: the next iteration's
+	// shard requests, scattered before the loop has decided to run it. When
+	// the stop rules fire first, discardSpec cancels it — the transports
+	// withdraw it shard-side — so early stopping costs at most one wasted
+	// pre-send and never waits on one.
+	var spec *speculation
+	discardSpec := func() {
+		if spec != nil {
+			spec.cancel()
+			spec = nil
+		}
+	}
 	for iter := 1; iter <= maxIter; iter++ {
 		if stop.TargetL1Error > 0 && res.L1ErrorBound <= stop.TargetL1Error {
+			// The residual bound already satisfies the target: stop here and
+			// cancel any pre-sent expansion of this frontier.
 			break
 		}
 		if stop.TimeLimit > 0 && time.Since(started) >= stop.TimeLimit {
@@ -532,7 +580,44 @@ func (r *Router) QueryTrace(q graph.NodeID, stop core.StopCondition, traceID str
 			break
 		}
 		iterStart := time.Now()
-		merged, nextFrontier, span := r.expand(frontier, iter, res, downShards, staleShards, traceID)
+		// Consume the pre-send only if it predicted exactly this frontier
+		// (bit-identical by hash) for exactly this iteration; anything else is
+		// stale and cancelled. The O(1) hash compare is the whole decision —
+		// no statistics, per the greedy-beats-optimal idiom.
+		var sc *scatterSet
+		var consumed context.CancelFunc
+		if spec != nil && spec.iter == iter && spec.hash == api.EncodeMap(frontier).Hash() {
+			sc = spec.sc
+			consumed = spec.cancel
+			spec = nil
+			res.SpeculationHits++
+			r.specHits.Add(1)
+			r.met.specHits.Inc()
+		} else {
+			discardSpec()
+			sc = r.scatter(context.Background(), frontier, iter, downShards, staleShards, traceID, false)
+		}
+		merged, nextFrontier, span := r.gather(sc, res, downShards, staleShards)
+		if consumed != nil {
+			// Every leg of the consumed pre-send has answered by now; release
+			// its context.
+			consumed()
+		}
+		// The next frontier is fully known here, before this iteration's mass
+		// is folded into the estimate: pre-send it now so the shards overlap
+		// their expansion with our fold and stop bookkeeping.
+		if r.speculate && iter+1 <= maxIter && len(nextFrontier) > 0 {
+			sctx, cancel := context.WithCancel(context.Background())
+			spec = &speculation{
+				sc:     r.scatter(sctx, nextFrontier, iter+1, downShards, staleShards, traceID, true),
+				cancel: cancel,
+				hash:   api.EncodeMap(nextFrontier).Hash(),
+				iter:   iter + 1,
+			}
+			res.SpeculationsSent++
+			r.specSent.Add(1)
+			r.met.specSent.Inc()
+		}
 		massAdded := merged.SumOrdered()
 		estimate.AddVector(merged)
 		mass += massAdded
@@ -548,6 +633,7 @@ func (r *Router) QueryTrace(q graph.NodeID, stop core.StopCondition, traceID str
 			break
 		}
 	}
+	discardSpec()
 	res.ShardsDown = len(downShards)
 	res.ShardsBehind = len(staleShards)
 	if res.ShardsDown > 0 || res.ShardsBehind > 0 {
@@ -593,7 +679,7 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result,
 	)
 	for _, s := range order {
 		legStart := time.Now()
-		resp, err := r.partial(s, &api.PartialRequest{Query: &q}, traceID)
+		resp, err := r.partial(context.Background(), s, &api.PartialRequest{Query: &q}, traceID)
 		leg := ShardLegSpan{Shard: s.index, DurationMS: float64(time.Since(legStart)) / 1e6}
 		if err != nil {
 			leg.Error = err.Error()
@@ -646,13 +732,100 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result,
 	return nil, -1, fmt.Errorf("cluster: no shard could answer iteration 0 for node %d: %w", q, lastErr)
 }
 
-// expand scatters one frontier to its owning shards and gathers the merged
-// increment and next frontier. Shards currently marked unhealthy (or already
-// seen failing in this query) are skipped outright: their prefix mass is
-// recorded as lost and the bound widens, keeping tail latency bounded by one
-// request round instead of one timeout per down shard per iteration. In
-// passive mode (no background probe) an unhealthy shard is attempted anyway —
-// a successful request is then the only path back to healthy.
+// speculation is one pre-sent iteration: its in-flight scatter, the hash of
+// the frontier it predicted, and the cancel that withdraws it shard-side.
+type speculation struct {
+	sc     *scatterSet
+	cancel context.CancelFunc
+	hash   uint64
+	iter   int
+}
+
+// legOutcome carries one shard sub-request's result into the fold loop.
+type legOutcome struct {
+	reply *api.PartialResponse
+	err   error
+	dur   time.Duration
+}
+
+// scatterSet is one scattered frontier: per-shard hub groups and the channels
+// their outcomes arrive on (buffered, so an abandoned scatter never blocks a
+// leg goroutine).
+type scatterSet struct {
+	frontier    map[graph.NodeID]float64
+	groups      []map[graph.NodeID]float64
+	chans       []chan legOutcome
+	attempted   []bool
+	iter        int
+	speculative bool
+}
+
+// scatter partitions one frontier by hub owner and sends each group to its
+// shard. Shards currently marked unhealthy (or already seen failing in this
+// query) are skipped outright: their prefix mass is recorded as lost by the
+// fold and the bound widens, keeping tail latency bounded by one request
+// round instead of one timeout per down shard per iteration. In passive mode
+// (no background probe) an unhealthy shard is attempted anyway — a successful
+// request is then the only path back to healthy.
+//
+// A speculative scatter tags every request with the hash of its frontier
+// vector; cancelling ctx withdraws not-yet-computed requests shard-side.
+func (r *Router) scatter(ctx context.Context, frontier map[graph.NodeID]float64, iter int, down, stale map[int]struct{}, traceID string, speculative bool) *scatterSet {
+	sc := &scatterSet{
+		frontier:    frontier,
+		groups:      make([]map[graph.NodeID]float64, len(r.shards)),
+		chans:       make([]chan legOutcome, len(r.shards)),
+		attempted:   make([]bool, len(r.shards)),
+		iter:        iter,
+		speculative: speculative,
+	}
+	for h, w := range frontier {
+		owner := r.part.Owner(h)
+		if sc.groups[owner] == nil {
+			sc.groups[owner] = make(map[graph.NodeID]float64)
+		}
+		sc.groups[owner][h] = w
+	}
+	for i, group := range sc.groups {
+		if group == nil {
+			continue
+		}
+		ch := make(chan legOutcome, 1)
+		sc.chans[i] = ch
+		s := r.shards[i]
+		if _, seenStale := stale[i]; seenStale {
+			// Epoch-divergent in this query: no request, its mass is folded
+			// by the gather loop (without marking the shard down — it is
+			// alive, just serving a different graph).
+			ch <- legOutcome{}
+			continue
+		}
+		_, seenDown := down[i]
+		if seenDown || (!s.healthy.Load() && !r.passive) {
+			ch <- legOutcome{err: fmt.Errorf("cluster: shard %d (%s) is down", i, s.target)}
+			continue
+		}
+		sc.attempted[i] = true
+		wv := api.EncodeMap(group)
+		preq := &api.PartialRequest{Frontier: &wv, Iteration: iter}
+		if speculative {
+			preq.Speculative = true
+			preq.FrontierHash = wv.Hash()
+		}
+		go func(i int, s *shardClient) {
+			legStart := time.Now()
+			reply, err := r.partial(ctx, s, preq, traceID)
+			ch <- legOutcome{reply: reply, err: err, dur: time.Since(legStart)}
+		}(i, s)
+	}
+	return sc
+}
+
+// gather folds a scattered iteration's outcomes in ascending shard order:
+// deterministic accumulation, so two routed queries over the same cluster
+// state answer identically. The in-order receive still overlaps expansion
+// with merging — shard i's reply is folded the moment it arrives once shards
+// 0..i-1 are folded, while later shards are still computing.
 //
 // A reply whose index epoch differs from the query's reference epoch
 // (res.Epoch, fixed at the root) is never merged: the shard evaluated against
@@ -660,66 +833,21 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result,
 // shard's and the shard is skipped for the rest of this query. Unlike a
 // fault, divergence does not mark the shard unhealthy — it is alive and
 // answering, just inconsistent with the cluster.
-func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result, down, stale map[int]struct{}, traceID string) (sparse.Vector, map[graph.NodeID]float64, IterationSpan) {
-	span := IterationSpan{Iteration: iter, FrontierSize: len(frontier)}
-	groups := make([]map[graph.NodeID]float64, len(r.shards))
-	for h, w := range frontier {
-		owner := r.part.Owner(h)
-		if groups[owner] == nil {
-			groups[owner] = make(map[graph.NodeID]float64)
-		}
-		groups[owner][h] = w
-	}
-
-	replies := make([]*api.PartialResponse, len(r.shards))
-	errs := make([]error, len(r.shards))
-	durs := make([]time.Duration, len(r.shards))
-	attempted := make([]bool, len(r.shards))
-	var wg sync.WaitGroup
-	for i, group := range groups {
-		if group == nil {
-			continue
-		}
-		s := r.shards[i]
-		if _, seenStale := stale[i]; seenStale {
-			// Epoch-divergent in this query: no request, its mass is folded
-			// by the merge loop below (without marking the shard down — it is
-			// alive, just serving a different graph).
-			continue
-		}
-		_, seenDown := down[i]
-		if seenDown || (!s.healthy.Load() && !r.passive) {
-			errs[i] = fmt.Errorf("cluster: shard %d (%s) is down", i, s.target)
-			continue
-		}
-		attempted[i] = true
-		wg.Add(1)
-		go func(i int, group map[graph.NodeID]float64) {
-			defer wg.Done()
-			legStart := time.Now()
-			replies[i], errs[i] = r.partial(r.shards[i], &api.PartialRequest{
-				Frontier:  ptr(api.EncodeMap(group)),
-				Iteration: iter,
-			}, traceID)
-			durs[i] = time.Since(legStart)
-		}(i, group)
-	}
-	wg.Wait()
-
-	// Merge in ascending shard order: deterministic accumulation, so two
-	// routed queries over the same cluster state answer identically.
+func (r *Router) gather(sc *scatterSet, res *Result, down, stale map[int]struct{}) (sparse.Vector, map[graph.NodeID]float64, IterationSpan) {
+	span := IterationSpan{Iteration: sc.iter, FrontierSize: len(sc.frontier), Speculative: sc.speculative}
 	merged := sparse.New(64)
 	next := make(map[graph.NodeID]float64)
 	for i := range r.shards {
-		group := groups[i]
+		group := sc.groups[i]
 		if group == nil {
 			continue
 		}
-		leg := ShardLegSpan{Shard: i, Hubs: len(group), DurationMS: float64(durs[i]) / 1e6, Skipped: !attempted[i]}
-		if errs[i] != nil {
-			leg.Error = errs[i].Error()
-		} else if replies[i] != nil {
-			leg.Epoch = replies[i].Epoch
+		out := <-sc.chans[i]
+		leg := ShardLegSpan{Shard: i, Hubs: len(group), DurationMS: float64(out.dur) / 1e6, Skipped: !sc.attempted[i]}
+		if out.err != nil {
+			leg.Error = out.err.Error()
+		} else if out.reply != nil {
+			leg.Epoch = out.reply.Epoch
 		} else if leg.Skipped {
 			leg.Error = "epoch-divergent in this query"
 		}
@@ -743,17 +871,17 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 			}
 			foldGroup()
 		}
-		if _, seenStale := stale[i]; seenStale && errs[i] == nil && replies[i] == nil {
+		if _, seenStale := stale[i]; seenStale && out.err == nil && out.reply == nil {
 			// Skipped as epoch-divergent before the scatter: the bound
 			// widens, health and the down set stay untouched.
 			foldGroup()
 			continue
 		}
-		if errs[i] != nil || replies[i] == nil {
-			loseGroup(errs[i])
+		if out.err != nil || out.reply == nil {
+			loseGroup(out.err)
 			continue
 		}
-		reply := replies[i]
+		reply := out.reply
 		if reply.Epoch != res.Epoch {
 			// Epoch divergence: the shard answered from a different graph.
 			// Its mass folds into the (still exact) bound and the shard sits
@@ -787,8 +915,6 @@ func (r *Router) expand(frontier map[graph.NodeID]float64, iter int, res *Result
 	}
 	return merged, next, span
 }
-
-func ptr[T any](v T) *T { return &v }
 
 // ClusterUpdate is the outcome of one update fan-out across the cluster.
 type ClusterUpdate struct {
@@ -961,6 +1087,10 @@ type ShardStats struct {
 	Retries       int64   `json:"retries"`
 	MeanLatencyMS float64 `json:"mean_latency_ms"`
 	MaxLatencyMS  float64 `json:"max_latency_ms"`
+	// Transport is the shard's wire-level view: effective kind ("binary"
+	// while the stream protocol is in use, "json" otherwise), stream health,
+	// and frame/byte counters.
+	Transport TransportStats `json:"transport"`
 }
 
 // Stats summarizes the cluster as the router sees it.
@@ -969,26 +1099,45 @@ type Stats struct {
 	// Epoch is the cluster index epoch (the highest observed on any shard);
 	// ShardsBehind counts shards whose last observed epoch is below it —
 	// their answers are currently folded out of every query.
-	Epoch         uint64       `json:"epoch"`
-	ShardsBehind  int          `json:"shards_behind"`
-	ShardsHealthy int          `json:"shards_healthy"`
-	Shards        []ShardStats `json:"shards"`
+	Epoch         uint64 `json:"epoch"`
+	ShardsBehind  int    `json:"shards_behind"`
+	ShardsHealthy int    `json:"shards_healthy"`
+	// Transport is the configured shard transport kind ("binary" or "json");
+	// individual shards may have degraded to JSON, see their Transport stats.
+	Transport string `json:"transport"`
+	// SpeculationsSent counts iterations pre-sent before their go/no-go
+	// decision; SpeculationHits counts pre-sends consumed. The difference is
+	// work cancelled by early stops. WireBytesSent/Received total the bytes
+	// on the wire across all shard transports, both directions.
+	SpeculationsSent  int64        `json:"speculations_sent"`
+	SpeculationHits   int64        `json:"speculation_hits"`
+	WireBytesSent     int64        `json:"wire_bytes_sent"`
+	WireBytesReceived int64        `json:"wire_bytes_received"`
+	Shards            []ShardStats `json:"shards"`
 }
 
 // Stats returns a point-in-time snapshot of shard health, epochs and latency.
 func (r *Router) Stats() Stats {
-	st := Stats{Nodes: r.NumNodes()}
+	st := Stats{
+		Nodes:            r.NumNodes(),
+		Transport:        r.transport,
+		SpeculationsSent: r.specSent.Load(),
+		SpeculationHits:  r.specHits.Load(),
+	}
 	clusterEpoch, epochKnown := r.ClusterEpoch()
 	st.Epoch = clusterEpoch
 	for _, s := range r.shards {
 		ss := ShardStats{
-			Shard:    s.index,
-			Target:   s.target,
-			Healthy:  s.healthy.Load(),
-			Requests: s.requests.Load(),
-			Failures: s.failures.Load(),
-			Retries:  s.retries.Load(),
+			Shard:     s.index,
+			Target:    s.target,
+			Healthy:   s.healthy.Load(),
+			Requests:  s.requests.Load(),
+			Failures:  s.failures.Load(),
+			Retries:   s.retries.Load(),
+			Transport: s.tr.Stats(),
 		}
+		st.WireBytesSent += ss.Transport.BytesSent
+		st.WireBytesReceived += ss.Transport.BytesReceived
 		ss.Epoch, ss.EpochKnown = s.knownEpoch()
 		if epochKnown && ss.EpochKnown && ss.Epoch < clusterEpoch {
 			st.ShardsBehind++

@@ -28,12 +28,15 @@ type ShardLegSpan struct {
 // IterationSpan records one iteration of a routed query: the frontier it
 // expanded, the mass it retired, and the per-shard legs it scattered.
 type IterationSpan struct {
-	Iteration    int            `json:"iteration"`
-	FrontierSize int            `json:"frontier_size"`
-	MassAdded    float64        `json:"mass_added"`
-	L1ErrorBound float64        `json:"l1_error_bound"`
-	DurationMS   float64        `json:"duration_ms"`
-	Legs         []ShardLegSpan `json:"legs,omitempty"`
+	Iteration    int     `json:"iteration"`
+	FrontierSize int     `json:"frontier_size"`
+	MassAdded    float64 `json:"mass_added"`
+	L1ErrorBound float64 `json:"l1_error_bound"`
+	DurationMS   float64 `json:"duration_ms"`
+	// Speculative marks an iteration whose shard requests were pre-sent
+	// before the previous fold and stop check ran (a consumed speculation).
+	Speculative bool           `json:"speculative,omitempty"`
+	Legs        []ShardLegSpan `json:"legs,omitempty"`
 }
 
 // routerMetrics are the hot-path metric handles, resolved once at NewRouter.
@@ -47,6 +50,8 @@ type routerMetrics struct {
 	iterations *telemetry.Histogram
 	bound      *telemetry.Histogram
 	legLatency *telemetry.HistogramVec
+	specSent   *telemetry.Counter
+	specHits   *telemetry.Counter
 }
 
 func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
@@ -66,6 +71,10 @@ func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
 		legLatency: reg.HistogramVec("fastppv_shard_leg_seconds",
 			"Latency of one shard sub-request (partial or update leg).",
 			telemetry.DefLatencyBuckets, "shard"),
+		specSent: reg.Counter("fastppv_router_speculations_sent_total",
+			"Iterations pre-sent to shards before their go/no-go decision."),
+		specHits: reg.Counter("fastppv_router_speculation_hits_total",
+			"Pre-sent iterations the query loop consumed (the rest were cancelled by early stops)."),
 	}
 }
 
@@ -107,6 +116,25 @@ func (r *Router) registerCollector(reg *telemetry.Registry) {
 			e.Counter("fastppv_shard_requests_total", "Sub-requests sent to the shard.", float64(ss.Requests), lbl)
 			e.Counter("fastppv_shard_failures_total", "Failed sub-requests to the shard.", float64(ss.Failures), lbl)
 			e.Counter("fastppv_shard_retries_total", "Sub-requests retried after a transient shard condition.", float64(ss.Retries), lbl)
+			ts := ss.Transport
+			streamUp := 0.0
+			if ts.StreamConnected {
+				streamUp = 1
+			}
+			e.Gauge("fastppv_shard_stream_connected",
+				"Whether a binary stream to the shard is established (1/0).", streamUp, lbl)
+			e.Counter("fastppv_shard_stream_reconnects_total",
+				"Binary streams re-established to the shard after a break.", float64(ts.Reconnects), lbl)
+			e.Counter("fastppv_shard_frames_sent_total",
+				"Wire frames (or JSON requests) sent to the shard.", float64(ts.FramesSent), lbl)
+			e.Counter("fastppv_shard_frames_received_total",
+				"Wire frames (or JSON responses) received from the shard.", float64(ts.FramesReceived), lbl)
+			e.Counter("fastppv_shard_wire_bytes_sent_total",
+				"Partial-protocol bytes sent to the shard.", float64(ts.BytesSent), lbl)
+			e.Counter("fastppv_shard_wire_bytes_received_total",
+				"Partial-protocol bytes received from the shard.", float64(ts.BytesReceived), lbl)
+			e.Counter("fastppv_shard_fallback_requests_total",
+				"Sub-requests served over JSON because no stream was available.", float64(ts.FallbackRequests), lbl)
 		}
 	})
 }

@@ -1,0 +1,561 @@
+// transport.go is the router's shard transport layer: how one partial
+// sub-request physically reaches a shard. Two implementations sit behind the
+// Transport interface —
+//
+//   - jsonTransport: one POST /v1/partial per sub-request over the shared
+//     http.Client. The debug surface and universal fallback.
+//   - streamTransport: a persistent binary stream per shard (HTTP/1.1 upgrade
+//     on GET /v1/stream, then api.ReadFrame/WriteFrame both ways), request-id
+//     multiplexed so every in-flight sub-request of every concurrent query
+//     shares one connection. Reconnects with backoff after a break, and
+//     degrades permanently to JSON when the shard answers the upgrade with a
+//     "no such endpoint" class status (an older shard build).
+//
+// The scheduling layer above is transport-agnostic: retries, health flips and
+// epoch bookkeeping stay in Router.partial.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastppv/internal/api"
+)
+
+// Transport kinds accepted by RouterConfig.Transport.
+const (
+	// TransportBinary streams CRC-framed binary partials over one persistent
+	// connection per shard, falling back to JSON when a shard cannot upgrade.
+	TransportBinary = "binary"
+	// TransportJSON posts JSON bodies per sub-request, the pre-stream wire
+	// format. Useful for debugging and as a differential baseline.
+	TransportJSON = "json"
+)
+
+// Transport performs partial sub-requests against one shard. Implementations
+// must be safe for concurrent use; cancelling the context abandons the
+// request (and, on a stream, withdraws pre-sent speculation shard-side).
+type Transport interface {
+	Partial(ctx context.Context, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error)
+	// Stats returns a point-in-time snapshot of wire-level counters.
+	Stats() TransportStats
+	Close()
+}
+
+// TransportStats is the wire-level view of one shard transport.
+type TransportStats struct {
+	// Kind is the transport currently in effect: "binary" while the shard
+	// speaks the stream protocol, "json" for the fallback/plain transport.
+	Kind string `json:"kind"`
+	// StreamConnected reports a currently established stream.
+	StreamConnected bool `json:"stream_connected,omitempty"`
+	// Reconnects counts re-established streams after a break.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	// FramesSent/FramesReceived and BytesSent/BytesReceived count traffic on
+	// the wire. JSON requests count their HTTP bodies as one frame each way.
+	FramesSent     int64 `json:"frames_sent"`
+	FramesReceived int64 `json:"frames_received"`
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesReceived  int64 `json:"bytes_received"`
+	// FallbackRequests counts sub-requests a binary transport served over
+	// JSON because no stream was available.
+	FallbackRequests int64 `json:"fallback_requests,omitempty"`
+	// DroppedReplies counts stream replies that arrived after their request
+	// was abandoned (typically discarded speculation).
+	DroppedReplies int64 `json:"dropped_replies,omitempty"`
+}
+
+// jsonTransport posts one JSON /v1/partial request per call.
+type jsonTransport struct {
+	target  string
+	client  *http.Client
+	timeout time.Duration
+
+	requests  atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+}
+
+func newJSONTransport(target string, client *http.Client, timeout time.Duration) *jsonTransport {
+	return &jsonTransport{target: target, client: client, timeout: timeout}
+}
+
+func (t *jsonTransport) Partial(ctx context.Context, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, t.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.target+"/v1/partial", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(api.TraceHeader, traceID)
+	}
+	t.requests.Add(1)
+	t.bytesSent.Add(int64(len(body)))
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading partial response from %s: %w", t.target, err)
+	}
+	t.bytesRecv.Add(int64(len(respBody)))
+	if resp.StatusCode != http.StatusOK {
+		var eresp api.ErrorResponse
+		if err := json.Unmarshal(respBody, &eresp); err == nil && eresp.Error.Code != "" {
+			return nil, &eresp.Error
+		}
+		return nil, fmt.Errorf("cluster: %s/v1/partial returned status %d", t.target, resp.StatusCode)
+	}
+	var presp api.PartialResponse
+	if err := json.Unmarshal(respBody, &presp); err != nil {
+		return nil, fmt.Errorf("cluster: decoding partial response from %s: %w", t.target, err)
+	}
+	return &presp, nil
+}
+
+func (t *jsonTransport) Stats() TransportStats {
+	n := t.requests.Load()
+	return TransportStats{
+		Kind:           TransportJSON,
+		FramesSent:     n,
+		FramesReceived: n,
+		BytesSent:      t.bytesSent.Load(),
+		BytesReceived:  t.bytesRecv.Load(),
+	}
+}
+
+func (t *jsonTransport) Close() {}
+
+// streamBackoff bounds the reconnect schedule: first retry after min,
+// doubling to max.
+const (
+	streamBackoffMin = 100 * time.Millisecond
+	streamBackoffMax = 5 * time.Second
+)
+
+// streamTransport multiplexes partial sub-requests over one persistent
+// binary stream, with reconnect-on-break and JSON fallback.
+type streamTransport struct {
+	target   string
+	shard    int
+	timeout  time.Duration
+	logger   *slog.Logger
+	fallback *jsonTransport
+
+	mu          sync.Mutex
+	conn        *streamConn
+	nextAttempt time.Time
+	backoff     time.Duration
+	jsonOnly    bool // shard answered the upgrade with "no such endpoint": stop trying
+	everOpened  bool
+	closed      bool
+
+	reconnects   atomic.Int64
+	framesSent   atomic.Int64
+	framesRecv   atomic.Int64
+	bytesSent    atomic.Int64
+	bytesRecv    atomic.Int64
+	fallbackReqs atomic.Int64
+	dropped      atomic.Int64
+}
+
+func newStreamTransport(target string, shard int, client *http.Client, timeout time.Duration, logger *slog.Logger) *streamTransport {
+	return &streamTransport{
+		target:   target,
+		shard:    shard,
+		timeout:  timeout,
+		logger:   logger,
+		fallback: newJSONTransport(target, client, timeout),
+		backoff:  streamBackoffMin,
+	}
+}
+
+func (t *streamTransport) Partial(ctx context.Context, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
+	c := t.acquireConn()
+	if c == nil {
+		t.fallbackReqs.Add(1)
+		return t.fallback.Partial(ctx, preq, traceID)
+	}
+	resp, err := c.roundTrip(ctx, t, preq, traceID)
+	if err == nil {
+		return resp, nil
+	}
+	var aerr *api.Error
+	if errors.As(err, &aerr) || ctx.Err() != nil {
+		// The shard answered (an error frame), or the caller gave up; either
+		// way the stream itself is fine.
+		return nil, err
+	}
+	// Transport-level failure: the stream broke under this request. Drop the
+	// connection (the next call reconnects with backoff) and give this
+	// request one immediate chance over JSON — if the shard died entirely the
+	// fallback fails fast on dial, if only the stream broke it succeeds.
+	t.dropConn(c, err)
+	t.fallbackReqs.Add(1)
+	return t.fallback.Partial(ctx, preq, traceID)
+}
+
+// acquireConn returns the established stream, dialing a new one when allowed.
+// nil means "use JSON now": the shard is JSON-only, the transport is closed,
+// or a recent dial failed and the backoff window is still open.
+func (t *streamTransport) acquireConn() *streamConn {
+	t.mu.Lock()
+	if t.conn != nil || t.jsonOnly || t.closed {
+		c := t.conn
+		t.mu.Unlock()
+		return c
+	}
+	if time.Now().Before(t.nextAttempt) {
+		t.mu.Unlock()
+		return nil
+	}
+	// Push the next attempt out before releasing the lock, so concurrent
+	// callers fall back to JSON instead of piling up dials.
+	t.nextAttempt = time.Now().Add(t.backoff)
+	t.mu.Unlock()
+
+	c, err := dialStream(t.target, t.timeout)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		var rej *upgradeRejectedError
+		if errors.As(err, &rej) && rej.permanent() {
+			t.jsonOnly = true
+			t.logger.Info("shard does not speak the stream protocol; staying on JSON",
+				"shard", t.shard, "target", t.target, "status", rej.status)
+		} else {
+			if t.backoff *= 2; t.backoff > streamBackoffMax {
+				t.backoff = streamBackoffMax
+			}
+			t.logger.Debug("stream dial failed",
+				"shard", t.shard, "target", t.target, "error", err)
+		}
+		return nil
+	}
+	if t.closed {
+		c.fail(errors.New("cluster: transport closed"))
+		return nil
+	}
+	if t.everOpened {
+		t.reconnects.Add(1)
+	}
+	t.everOpened = true
+	t.backoff = streamBackoffMin
+	t.conn = c
+	go c.readLoop(t)
+	t.logger.Info("shard stream established", "shard", t.shard, "target", t.target)
+	return c
+}
+
+// dropConn tears down a broken stream (failing its in-flight requests) and
+// opens the backoff window for the next dial.
+func (t *streamTransport) dropConn(c *streamConn, cause error) {
+	c.fail(cause)
+	t.mu.Lock()
+	if t.conn == c {
+		t.conn = nil
+		t.nextAttempt = time.Now().Add(t.backoff)
+	}
+	t.mu.Unlock()
+}
+
+func (t *streamTransport) Stats() TransportStats {
+	t.mu.Lock()
+	connected, jsonOnly := t.conn != nil, t.jsonOnly
+	t.mu.Unlock()
+	fb := t.fallback.Stats()
+	st := TransportStats{
+		Kind:             TransportBinary,
+		StreamConnected:  connected,
+		Reconnects:       t.reconnects.Load(),
+		FramesSent:       t.framesSent.Load() + fb.FramesSent,
+		FramesReceived:   t.framesRecv.Load() + fb.FramesReceived,
+		BytesSent:        t.bytesSent.Load() + fb.BytesSent,
+		BytesReceived:    t.bytesRecv.Load() + fb.BytesReceived,
+		FallbackRequests: t.fallbackReqs.Load(),
+		DroppedReplies:   t.dropped.Load(),
+	}
+	if jsonOnly {
+		st.Kind = TransportJSON
+	}
+	return st
+}
+
+func (t *streamTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	c := t.conn
+	t.conn = nil
+	t.mu.Unlock()
+	if c != nil {
+		c.fail(errors.New("cluster: transport closed"))
+	}
+}
+
+// upgradeRejectedError reports a shard that answered the upgrade request with
+// a plain HTTP status instead of 101.
+type upgradeRejectedError struct{ status int }
+
+func (e *upgradeRejectedError) Error() string {
+	return fmt.Sprintf("cluster: stream upgrade rejected with status %d", e.status)
+}
+
+// permanent reports a "this endpoint does not exist here" class status: the
+// shard build predates the protocol (404/405/501) or rejects it outright
+// (4xx). Transient server-side statuses keep the retry schedule.
+func (e *upgradeRejectedError) permanent() bool {
+	return e.status >= 400 && e.status < 500 || e.status == http.StatusNotImplemented
+}
+
+// dialStream opens a TCP connection to the shard and upgrades it to the
+// binary frame protocol.
+func dialStream(target string, timeout time.Duration) (*streamConn, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad stream target %q: %w", target, err)
+	}
+	addr := u.Host
+	if u.Port() == "" {
+		addr = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	conn.SetDeadline(deadline)
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: Upgrade\r\nUpgrade: %s\r\n\r\n",
+		api.StreamPath, u.Host, api.StreamProtocol); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: reading upgrade response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		io.CopyN(io.Discard, resp.Body, 4096)
+		resp.Body.Close()
+		conn.Close()
+		return nil, &upgradeRejectedError{status: resp.StatusCode}
+	}
+	if !strings.EqualFold(resp.Header.Get("Upgrade"), api.StreamProtocol) {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: upgrade answered with protocol %q, want %q",
+			resp.Header.Get("Upgrade"), api.StreamProtocol)
+	}
+	conn.SetDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	return &streamConn{
+		conn:    conn,
+		br:      br,
+		pending: make(map[uint64]chan streamReply),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// streamReply is one multiplexed answer: a response or a decoded error frame.
+type streamReply struct {
+	resp *api.PartialResponse
+	err  error
+}
+
+// streamConn is one established stream. Writers serialize on wmu; the single
+// readLoop goroutine routes reply frames to pending channels by request id.
+type streamConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan streamReply
+	nextID  uint64
+	err     error
+
+	done     chan struct{}
+	failOnce sync.Once
+}
+
+// fail breaks the connection: all in-flight and future requests on it error
+// out immediately.
+func (c *streamConn) fail(cause error) {
+	c.failOnce.Do(func() {
+		c.mu.Lock()
+		c.err = cause
+		c.mu.Unlock()
+		close(c.done)
+		c.conn.Close()
+	})
+}
+
+// brokenErr returns the error the connection failed with.
+func (c *streamConn) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		return errors.New("cluster: stream closed")
+	}
+	return c.err
+}
+
+// writeFrame sends one frame under the write lock with a bounded deadline,
+// counting it into the transport's wire stats.
+func (c *streamConn) writeFrame(t *streamTransport, ftype byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	n, err := api.WriteFrame(c.conn, ftype, payload)
+	if err != nil {
+		return err
+	}
+	t.framesSent.Add(1)
+	t.bytesSent.Add(int64(n))
+	return nil
+}
+
+// roundTrip sends one partial request and waits for its multiplexed reply.
+func (c *streamConn) roundTrip(ctx context.Context, t *streamTransport, preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan streamReply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := api.EncodePartialRequest(id, traceID, preq)
+	if err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	if err := c.writeFrame(t, api.FramePartialRequest, payload); err != nil {
+		c.unregister(id)
+		c.fail(err)
+		return nil, err
+	}
+	timer := time.NewTimer(t.timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep.resp, rep.err
+	case <-ctx.Done():
+		// Abandoned (typically discarded speculation): withdraw it shard-side
+		// so a not-yet-started expansion is dropped instead of computed.
+		if c.unregister(id) {
+			c.writeFrame(t, api.FrameCancel, api.EncodeCancel(id, preq.FrontierHash))
+		}
+		return nil, ctx.Err()
+	case <-timer.C:
+		c.unregister(id)
+		return nil, fmt.Errorf("cluster: stream request to %s timed out after %v", t.target, t.timeout)
+	case <-c.done:
+		c.unregister(id)
+		return nil, c.brokenErr()
+	}
+}
+
+// unregister removes a pending request, reporting whether it was still
+// pending (false: the reply already arrived or the conn failed it).
+func (c *streamConn) unregister(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[id]; !ok {
+		return false
+	}
+	delete(c.pending, id)
+	return true
+}
+
+// deliver routes one reply to its waiter; replies for abandoned requests are
+// counted and dropped.
+func (c *streamConn) deliver(t *streamTransport, id uint64, rep streamReply) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch == nil {
+		t.dropped.Add(1)
+		return
+	}
+	ch <- rep
+}
+
+// readLoop is the connection's only reader: it decodes frames and routes them
+// until the stream breaks. A framing or payload decode error is a broken
+// stream (the protocol has no resync point), never a panic.
+func (c *streamConn) readLoop(t *streamTransport) {
+	for {
+		ftype, payload, n, err := api.ReadFrame(c.br)
+		if err != nil {
+			c.fail(fmt.Errorf("cluster: stream from %s broke: %w", t.target, err))
+			t.mu.Lock()
+			if t.conn == c {
+				t.conn = nil
+				t.nextAttempt = time.Now().Add(t.backoff)
+			}
+			t.mu.Unlock()
+			// Fail the stragglers (roundTrip also listens on done; this keeps
+			// the map from pinning channels).
+			c.mu.Lock()
+			for id, ch := range c.pending {
+				delete(c.pending, id)
+				select {
+				case ch <- streamReply{err: c.err}:
+				default:
+				}
+			}
+			c.mu.Unlock()
+			return
+		}
+		t.framesRecv.Add(1)
+		t.bytesRecv.Add(int64(n))
+		switch ftype {
+		case api.FramePartialResponse:
+			id, presp, derr := api.DecodePartialResponse(payload)
+			if derr != nil {
+				c.fail(derr)
+				continue
+			}
+			c.deliver(t, id, streamReply{resp: presp})
+		case api.FrameError:
+			id, aerr, derr := api.DecodeError(payload)
+			if derr != nil {
+				c.fail(derr)
+				continue
+			}
+			c.deliver(t, id, streamReply{err: aerr})
+		default:
+			// Unknown frame type: tolerated for forward compatibility.
+		}
+	}
+}

@@ -16,12 +16,26 @@ import (
 	"fastppv/internal/sparse"
 )
 
+// testShard is one shard daemon under test. Close kills it for real: the
+// binary streams a router holds are hijacked connections httptest.Server
+// forgets, so the embedded Close alone would leave the shard reachable over
+// any established stream.
+type testShard struct {
+	*httptest.Server
+	srv *Server
+}
+
+func (s *testShard) Close() {
+	s.srv.CloseStreams()
+	s.Server.Close()
+}
+
 // shardedServers precomputes `shards` hub-partitioned engines over g and
-// serves each through a real Server (so /v1/partial is the production
-// handler), returning the shard URLs.
-func shardedServers(t *testing.T, g *graph.Graph, numHubs, shards int) []*httptest.Server {
+// serves each through a real Server (so /v1/partial and /v1/stream are the
+// production handlers), returning the shard servers.
+func shardedServers(t *testing.T, g *graph.Graph, numHubs, shards int) []*testShard {
 	t.Helper()
-	out := make([]*httptest.Server, shards)
+	out := make([]*testShard, shards)
 	for i := 0; i < shards; i++ {
 		opts := core.Options{NumHubs: numHubs}
 		if shards > 1 {
@@ -39,8 +53,9 @@ func shardedServers(t *testing.T, g *graph.Graph, numHubs, shards int) []*httpte
 			t.Fatal(err)
 		}
 		ts := httptest.NewServer(srv.Handler())
-		t.Cleanup(ts.Close)
-		out[i] = ts
+		sh := &testShard{Server: ts, srv: srv}
+		t.Cleanup(sh.Close)
+		out[i] = sh
 	}
 	return out
 }
@@ -386,7 +401,7 @@ func TestClusterUpdateFanOut(t *testing.T) {
 		t.Error("router cache not invalidated by the accepted update")
 	}
 	for i, ts := range shards {
-		if st := shardStatsOf(t, ts); st.Epoch != 1 {
+		if st := shardStatsOf(t, ts.Server); st.Epoch != 1 {
 			t.Errorf("shard %d reports epoch %d after fan-out, want 1", i, st.Epoch)
 		}
 	}
@@ -465,7 +480,7 @@ func TestClusterDirectShardUpdateDiverges(t *testing.T) {
 	}
 
 	// Update shard 1 directly, behind the router's back.
-	status, body := post(t, shards[1], "/v1/update", `{"added_edges":[[5,9]]}`)
+	status, body := post(t, shards[1].Server, "/v1/update", `{"added_edges":[[5,9]]}`)
 	if status != http.StatusOK {
 		t.Fatalf("direct shard update = %d: %s", status, body)
 	}
@@ -527,7 +542,7 @@ func TestClusterUpdateSkipsBehindShard(t *testing.T) {
 	// Diverge shard 1 by two direct updates; the cluster epoch becomes 2 and
 	// shard 0 (epoch 0) is now "behind".
 	for _, b := range []string{`{"added_edges":[[1,2]]}`, `{"added_edges":[[2,3]]}`} {
-		if status, body := post(t, shards[1], "/v1/update", b); status != http.StatusOK {
+		if status, body := post(t, shards[1].Server, "/v1/update", b); status != http.StatusOK {
 			t.Fatalf("direct update = %d: %s", status, body)
 		}
 	}

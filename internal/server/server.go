@@ -154,6 +154,7 @@ type Server struct {
 	cache   *Cache
 	flights *flightGroup
 	adm     *admission
+	streams *streamSet // open binary partial streams (engine mode)
 
 	// mu guards the engine: queries hold the read lock, ApplyUpdate holds the
 	// write lock (it swaps the graph and rewrites index entries in place).
@@ -200,6 +201,7 @@ func newServer(cfg Config) *Server {
 		cfg:     cfg,
 		flights: newFlightGroup(),
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueWait),
+		streams: newStreamSet(),
 		hists: map[string]*Histogram{
 			"ppv":     {},
 			"batch":   {},
@@ -295,6 +297,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.Handle("GET /metrics", s.registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The stream endpoint hijacks its connection and lives for the life of a
+	// router process; instrumenting it would record one meaningless
+	// hours-long latency sample, so it stays outside instrument.
+	mux.HandleFunc("GET "+api.StreamPath, s.handleStream)
 	return mux
 }
 
@@ -736,15 +742,32 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("bad partial body: %v", err))
 		return
 	}
-	if (preq.Query == nil) == (preq.Frontier == nil) {
-		writeError(w, badRequest("exactly one of query and frontier must be set"))
+	presp, err := s.evalPartial(&preq, r.Header.Get(api.TraceHeader))
+	if err != nil {
+		writeError(w, err)
 		return
+	}
+	// Echo the router's trace ID so a traced routed query can be correlated
+	// with this shard's logs.
+	if tid := r.Header.Get(api.TraceHeader); tid != "" {
+		w.Header().Set(api.TraceHeader, tid)
+	}
+	writeJSON(w, http.StatusOK, presp)
+}
+
+// evalPartial evaluates one partial sub-request: validation, the admission
+// gate (a partial is bounded work, so a degraded-level slot still computes it
+// fully), then the engine under its read lock. It is the shared core of the
+// JSON handler above and the binary stream handler (stream.go); errors come
+// back as *httpError so both surfaces can render code and status.
+func (s *Server) evalPartial(preq *api.PartialRequest, traceID string) (*api.PartialResponse, error) {
+	if (preq.Query == nil) == (preq.Frontier == nil) {
+		return nil, badRequest("exactly one of query and frontier must be set")
 	}
 	level := s.adm.acquire()
 	if level == svcShed {
-		writeError(w, &httpError{status: http.StatusServiceUnavailable, code: api.CodeOverloaded,
-			msg: "overloaded: admission and degradation pools are full"})
-		return
+		return nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeOverloaded,
+			msg: "overloaded: admission and degradation pools are full"}
 	}
 	defer s.adm.release(level)
 
@@ -758,16 +781,14 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		q := *preq.Query
 		if q < 0 || int(q) >= s.engine.Graph().NumNodes() {
 			s.mu.RUnlock()
-			writeError(w, badRequest("node %d outside [0,%d)", q, s.engine.Graph().NumNodes()))
-			return
+			return nil, badRequest("node %d outside [0,%d)", q, s.engine.Graph().NumNodes())
 		}
 		part, err = s.engine.PartialRoot(q)
 	} else {
 		var frontier map[graph.NodeID]float64
 		if frontier, err = preq.Frontier.DecodeMap(); err != nil {
 			s.mu.RUnlock()
-			writeError(w, badRequest("bad frontier: %v", err))
-			return
+			return nil, badRequest("bad frontier: %v", err)
 		}
 		part, err = s.engine.PartialExpand(frontier)
 	}
@@ -776,26 +797,22 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if err != nil {
 		if errors.Is(err, ppvindex.ErrIndexClosed) {
-			writeError(w, &httpError{status: http.StatusServiceUnavailable, code: api.CodeRetry, msg: err.Error()})
-			return
+			return nil, &httpError{status: http.StatusServiceUnavailable, code: api.CodeRetry, msg: err.Error()}
 		}
-		writeError(w, fmt.Errorf("partial query failed: %w", err))
-		return
+		return nil, fmt.Errorf("partial query failed: %w", err)
 	}
 	shards := p.Shards
 	if shards < 2 {
 		shards = 1
 	}
-	// Echo the router's trace ID so a traced routed query can be correlated
-	// with this shard's logs, and key the shard-side log record on it.
-	if tid := r.Header.Get(api.TraceHeader); tid != "" {
-		w.Header().Set(api.TraceHeader, tid)
+	if traceID != "" {
 		s.logger.Debug("partial served",
-			"trace_id", tid, "shard", p.Shard, "iteration", preq.Iteration,
-			"epoch", epoch, "hubs_expanded", part.HubsExpanded,
+			"trace_id", traceID, "shard", p.Shard, "iteration", preq.Iteration,
+			"speculative", preq.Speculative, "epoch", epoch,
+			"hubs_expanded", part.HubsExpanded,
 			"duration_ms", float64(time.Since(start))/1e6)
 	}
-	writeJSON(w, http.StatusOK, api.PartialResponse{
+	return &api.PartialResponse{
 		Shard:        p.Shard,
 		Shards:       shards,
 		Epoch:        epoch,
@@ -806,7 +823,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		Unowned:      part.Unowned,
 		FromIndex:    part.FromIndex,
 		ComputeMS:    float64(time.Since(start)) / 1e6,
-	})
+	}, nil
 }
 
 // UpdateRequest is the body of POST /v1/update (see api.UpdateRequest: the
@@ -1087,10 +1104,13 @@ type StatsResponse struct {
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// Warming reports the startup block-cache warming pass (engine mode with
 	// Config.WarmHubs set).
-	Warming        *WarmStats                   `json:"warming,omitempty"`
-	Cache          *CacheStats                  `json:"cache,omitempty"`
-	BlockCache     *ppvindex.BlockCacheStats    `json:"block_cache,omitempty"`
-	Durability     *ppvindex.DurabilityStats    `json:"durability,omitempty"`
+	Warming    *WarmStats                `json:"warming,omitempty"`
+	Cache      *CacheStats               `json:"cache,omitempty"`
+	BlockCache *ppvindex.BlockCacheStats `json:"block_cache,omitempty"`
+	Durability *ppvindex.DurabilityStats `json:"durability,omitempty"`
+	// Streams reports the binary partial-stream surface (engine mode): open
+	// streams, wire traffic, and per-stream admission accounting.
+	Streams        *StreamStats                 `json:"streams,omitempty"`
 	Admission      AdmissionStats               `json:"admission"`
 	Coalesced      int64                        `json:"coalesced"`
 	UpdatesApplied int64                        `json:"updates_applied"`
@@ -1156,6 +1176,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				resp.Durability = &st
 			}
 		}
+		sst := s.streams.stats()
+		resp.Streams = &sst
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -189,7 +189,10 @@ func TestTraceRoutedQuery(t *testing.T) {
 
 // TestTraceIDPropagation verifies the client-supplied trace ID travels
 // router -> shard -> response: every shard leg carries it on the wire and the
-// response echoes it.
+// response echoes it. The router is pinned to the JSON transport because the
+// assertion reads the HTTP trace header off each leg; on the binary transport
+// the trace ID travels inside the request frame instead (covered by
+// TestStreamTransportAgainstServer).
 func TestTraceIDPropagation(t *testing.T) {
 	g := socialGraph(t, 300)
 
@@ -222,7 +225,21 @@ func TestTraceIDPropagation(t *testing.T) {
 		t.Cleanup(ts.Close)
 		shardURLs[i] = ts.URL
 	}
-	routerTS, _ := routerServer(t, shardURLs)
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Targets:        shardURLs,
+		HealthInterval: -1,
+		Transport:      cluster.TransportJSON,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rsrv, err := NewRouter(rt, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerTS := httptest.NewServer(rsrv.Handler())
+	t.Cleanup(routerTS.Close)
 
 	const clientID = "test-trace-42"
 	req, err := http.NewRequest(http.MethodGet, routerTS.URL+"/v1/ppv?node=3&eta=2&trace=1", nil)

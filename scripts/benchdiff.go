@@ -51,7 +51,15 @@ func main() {
 	// Gated metrics: lower warm-read cost is better, higher qps is better.
 	failures += row("warm_read_ns", oldRep.WarmReadNS, newRep.WarmReadNS, lowerIsBetter, *maxRegress)
 	failures += row("qps", oldRep.QPS, newRep.QPS, higherIsBetter, *maxRegress)
+	// Cluster-pass metrics (additive in PR 8) gate only when both artifacts
+	// carry them — row() shows a zero side as n/a and never fails it. The
+	// cluster/single ratio is gated instead of the raw cluster p50: the ratio
+	// normalizes away host speed, so it tracks transport efficiency alone.
+	failures += row("cluster_vs_single", oldRep.ClusterVsSingleRatio, newRep.ClusterVsSingleRatio, lowerIsBetter, *maxRegress)
+	failures += row("wire_bytes_per_q", oldRep.WireBytesPerQuery, newRep.WireBytesPerQuery, lowerIsBetter, *maxRegress)
+	failures += row("spec_hit_rate", oldRep.SpeculationHitRate, newRep.SpeculationHitRate, higherIsBetter, *maxRegress)
 	// Informational metrics.
+	row("cluster_p50_ms", oldRep.ClusterP50MS, newRep.ClusterP50MS, lowerIsBetter, 0)
 	row("cold_read_ns", oldRep.ColdReadNS, newRep.ColdReadNS, lowerIsBetter, 0)
 	row("latency_p50_ms", oldRep.LatencyMS.P50, newRep.LatencyMS.P50, lowerIsBetter, 0)
 	row("latency_p99_ms", oldRep.LatencyMS.P99, newRep.LatencyMS.P99, lowerIsBetter, 0)
