@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -32,6 +33,7 @@ import (
 	"fastppv/internal/hub"
 	"fastppv/internal/pagerank"
 	"fastppv/internal/prime"
+	"fastppv/internal/querylog"
 	"fastppv/internal/server"
 	"fastppv/internal/workload"
 )
@@ -321,9 +323,26 @@ func BenchmarkPrimePPV(b *testing.B) {
 // the cache, coalesce, or compute through the admission gate. Cache hit rate
 // and computation count are reported as custom metrics.
 func BenchmarkServerThroughput(b *testing.B) {
+	benchServerThroughput(b, server.Config{})
+}
+
+// BenchmarkServerThroughputQueryLog is the same workload with the persistent
+// query log appending one record per completed query — the comparison against
+// BenchmarkServerThroughput bounds the logging overhead on the serving path
+// (the PR 9 budget is <5% on the median).
+func BenchmarkServerThroughputQueryLog(b *testing.B) {
+	qlog, err := querylog.Open(filepath.Join(b.TempDir(), "queries.qlog"), querylog.Options{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer qlog.Close()
+	benchServerThroughput(b, server.Config{QueryLog: qlog})
+}
+
+func benchServerThroughput(b *testing.B, cfg server.Config) {
 	g := benchGraph(b)
 	engine := benchEngine(b, g)
-	srv, err := server.New(engine, server.Config{})
+	srv, err := server.New(engine, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -54,6 +54,19 @@
 // structured log/slog records (-log-format text|json, -log-level), and
 // -pprof-addr serves net/http/pprof on a separate listener.
 //
+// With -query-log PATH every completed query is appended to a persistent,
+// CRC-framed binary log (rotated past -query-log-max-mb, replayed on
+// startup); with -warm-hubs set, a restart warms the block cache from the
+// replayed workload's frequency-decayed top sources instead of the static
+// out-degree heuristic ("warming" in /v1/stats reports which). cmd/ppvlog
+// aggregates or replays a query log offline. Independently, every query's
+// trace is retained after the fact when it was slow (-slow-ms), ended
+// degraded, or landed on the -trace-sample cadence — GET /v1/debug/slow lists
+// the retained ring, GET /v1/debug/trace/{id} fetches one by the id echoed in
+// the X-Fastppv-Trace response header. -slo-p99-ms / -slo-bound declare
+// serving objectives: good/bad event totals and 1m/5m/1h error-budget burn
+// rates appear in /metrics and under "slo" in /v1/stats.
+//
 // Endpoints:
 //
 //	GET  /v1/ppv?node=&eta=&target-error=&top=   answer one query
@@ -62,6 +75,8 @@
 //	POST /v1/update                              apply a graph update
 //	POST /v1/compact                             fold the update log into the index
 //	GET  /v1/stats                               serving + offline + cluster statistics
+//	GET  /v1/debug/slow                          retained slow/degraded/sampled traces
+//	GET  /v1/debug/trace/{id}                    one retained trace by id
 //	GET  /metrics                                Prometheus text-format metrics
 //	GET  /healthz                                readiness
 package main
@@ -82,6 +97,7 @@ import (
 	"fastppv"
 	"fastppv/internal/cluster"
 	"fastppv/internal/gen"
+	"fastppv/internal/querylog"
 	"fastppv/internal/server"
 	"fastppv/internal/telemetry"
 )
@@ -117,6 +133,13 @@ func run(args []string) error {
 	cacheMB := fs.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent full-accuracy computations (0 = GOMAXPROCS)")
 	queueWait := fs.Duration("queue-wait", 25*time.Millisecond, "max wait for a computation slot before degrading")
+	queryLogPath := fs.String("query-log", "", "persistent query log: one binary record per completed query, replayed on startup to drive log-based cache warming (empty disables)")
+	queryLogMaxMB := fs.Int64("query-log-max-mb", 64, "rotate the query log past this size (negative = never rotate)")
+	slowMS := fs.Float64("slow-ms", 250, "compute time past which a query's trace is retained unconditionally in /v1/debug/slow (negative disables)")
+	traceSample := fs.Int("trace-sample", 128, "retain every Nth computed query's trace regardless of latency (negative disables)")
+	traceRetain := fs.Int("trace-retain", 256, "capacity of the retained-trace ring behind /v1/debug/slow")
+	sloP99MS := fs.Float64("slo-p99-ms", 0, "p99 latency objective in ms: slower answers burn the 1% error budget (0 = no latency objective)")
+	sloBound := fs.Float64("slo-bound", 0, "L1 error-bound objective: wider answers burn the error budget (0 = no bound objective)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
@@ -137,16 +160,37 @@ func run(args []string) error {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
+	var qlog *querylog.Log
+	if *queryLogPath != "" {
+		maxBytes := *queryLogMaxMB << 20
+		if *queryLogMaxMB < 0 {
+			maxBytes = -1
+		}
+		qlog, err = querylog.Open(*queryLogPath, querylog.Options{MaxBytes: maxBytes}, nil)
+		if err != nil {
+			return fmt.Errorf("open query log: %w", err)
+		}
+		defer qlog.Close()
+		st := qlog.Stats()
+		logger.Info("query log open", "path", *queryLogPath,
+			"replayed", st.Replayed, "bytes", st.ActiveBytes, "truncated", st.TruncatedBytes)
+	}
 	srvCfg := server.Config{
-		DefaultEta:    *eta,
-		MaxEta:        *maxEta,
-		DegradedEta:   *degradedEta,
-		CacheBytes:    cacheBytes,
-		MaxConcurrent: *maxConcurrent,
-		QueueWait:     *queueWait,
-		WarmHubs:      *warmHubs,
-		Registry:      registry,
-		Logger:        logger,
+		DefaultEta:       *eta,
+		MaxEta:           *maxEta,
+		DegradedEta:      *degradedEta,
+		CacheBytes:       cacheBytes,
+		MaxConcurrent:    *maxConcurrent,
+		QueueWait:        *queueWait,
+		WarmHubs:         *warmHubs,
+		QueryLog:         qlog,
+		SlowThreshold:    time.Duration(*slowMS * float64(time.Millisecond)),
+		TraceSampleEvery: *traceSample,
+		TraceRetain:      *traceRetain,
+		SLOLatency:       time.Duration(*sloP99MS * float64(time.Millisecond)),
+		SLOBound:         *sloBound,
+		Registry:         registry,
+		Logger:           logger,
 	}
 
 	if *routerTargets != "" {

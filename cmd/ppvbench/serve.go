@@ -4,9 +4,12 @@
 // deployed: it starts an in-process fastppvd serving stack on a loopback
 // listener, replays a Zipfian workload over real HTTP, and measures
 // throughput, latency percentiles, response size and reported error bounds —
-// then times warm and cold hub-block reads against an on-disk index. The
-// result is written in the shared internal/benchfmt schema, the same one
-// `ppvload -json` emits, so CI artifacts and ad-hoc runs are comparable.
+// then times warm and cold hub-block reads against an on-disk index, and
+// replays a recorded query log across a simulated restart to compare
+// log-driven cache warming against the out-degree heuristic (warm_source /
+// warm_hit_rate in the report). The result is written in the shared
+// internal/benchfmt schema, the same one `ppvload -json` emits, so CI
+// artifacts and ad-hoc runs are comparable.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fastppv/internal/core"
 	"fastppv/internal/gen"
 	"fastppv/internal/ppvindex"
+	"fastppv/internal/querylog"
 	"fastppv/internal/server"
 	"fastppv/internal/telemetry"
 	"fastppv/internal/workload"
@@ -130,6 +134,11 @@ func runServe(cfg serveConfig) error {
 		}
 	}
 
+	wp, err := warmingPass(g, size.hubs, cfg, logger)
+	if err != nil {
+		return err
+	}
+
 	report := &benchfmt.Report{
 		Source:    "ppvbench-serve",
 		Mode:      "engine",
@@ -164,6 +173,9 @@ func runServe(cfg serveConfig) error {
 		ClusterTransport:     cl.transport,
 		SpeculationHitRate:   cl.specHitRate,
 		WireBytesPerQuery:    cl.wireBytesPerQuery,
+
+		WarmSource:  wp.source,
+		WarmHitRate: wp.hitRate,
 	}
 	if err := benchfmt.WriteFile(cfg.out, report); err != nil {
 		return err
@@ -180,7 +192,10 @@ func runServe(cfg serveConfig) error {
 		"cluster_p50_ms", fmt.Sprintf("%.3f", cl.p50MS),
 		"cluster_vs_single_ratio", fmt.Sprintf("%.2f", cl.vsSingleRatio),
 		"speculation_hit_rate", fmt.Sprintf("%.3f", cl.specHitRate),
-		"wire_bytes_per_query", fmt.Sprintf("%.0f", cl.wireBytesPerQuery))
+		"wire_bytes_per_query", fmt.Sprintf("%.0f", cl.wireBytesPerQuery),
+		"warm_source", wp.source,
+		"warm_hit_rate", fmt.Sprintf("%.3f", wp.hitRate),
+		"heuristic_hit_rate", fmt.Sprintf("%.3f", wp.heuristicRate))
 	return nil
 }
 
@@ -322,6 +337,172 @@ func clusterPass(g *fastppv.Graph, numHubs int, cfg serveConfig, logger interfac
 		"speculation_hit_rate", fmt.Sprintf("%.3f", res.specHitRate),
 		"wire_bytes_per_query", fmt.Sprintf("%.0f", res.wireBytesPerQuery))
 	return res, nil
+}
+
+// warmingPassResult compares the two startup block-cache warming strategies.
+type warmingPassResult struct {
+	// source is what the restarted server reported choosing its hubs with —
+	// "querylog" when the replayed log drove warming, as it should here.
+	source string
+	// hitRate / heuristicRate are the block-cache hit rates of the measured
+	// workload served right after log-driven and heuristic warming
+	// respectively (result cache disabled, so every request exercises the
+	// block cache).
+	hitRate       float64
+	heuristicRate float64
+}
+
+// warmSources is the warming budget of both passes: the heuristic preloads
+// this many hottest hubs, the log path replays this many top sources (and
+// warms their hub dependencies).
+const warmSources = 64
+
+// warmingPass measures what the persistent query log buys at startup. It
+// serves the benchmark workload once against a disk index while recording a
+// query log (simulating yesterday's traffic), then "restarts" twice with a
+// cold block cache — once warming from the replayed log, once from the
+// out-degree heuristic — and reports the block-cache hit rate each restart
+// achieves on the same workload.
+func warmingPass(g *fastppv.Graph, numHubs int, cfg serveConfig, logger interface {
+	Info(msg string, args ...any)
+}) (warmingPassResult, error) {
+	var res warmingPassResult
+	dir, err := os.MkdirTemp("", "ppvbench-warm")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/index.ppv"
+	qlogPath := dir + "/queries.qlog"
+
+	opts := fastppv.Options{NumHubs: numHubs}
+	build, closeBuild, err := fastppv.NewWithDiskIndex(g, opts, path)
+	if err != nil {
+		return res, err
+	}
+	if err := build.Precompute(); err != nil {
+		closeBuild()
+		return res, err
+	}
+	if err := closeBuild(); err != nil {
+		return res, err
+	}
+
+	// The block cache is sized to hold the whole index, so the hit-rate
+	// difference between the restarts reflects only what warming preloaded.
+	dio := fastppv.DiskIndexOptions{
+		DisableUpdateLog: true, DisableGraphLog: true, BlockCacheBytes: 256 << 20,
+	}
+	servePhase := func(qlog *querylog.Log, warmHubs int) (warming string, rate float64, err error) {
+		eng, closeIdx, err := fastppv.OpenDiskIndexWithOptions(g, opts, path, dio)
+		if err != nil {
+			return "", 0, err
+		}
+		defer closeIdx()
+		srv, err := server.New(eng, server.Config{
+			QueryLog: qlog, WarmHubs: warmHubs, CacheBytes: -1,
+		})
+		if err != nil {
+			return "", 0, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", 0, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() { srv.CloseStreams(); hs.Close() }()
+		base := "http://" + ln.Addr().String()
+
+		// Snapshot after server.New so warming's own block loads don't count
+		// against the workload's hit rate.
+		before, err := fetchWarmStats(base)
+		if err != nil {
+			return "", 0, err
+		}
+		if _, _, _, _, _, fails, err := driveWorkload(base, g.NumNodes(), cfg); err != nil {
+			return "", 0, err
+		} else if fails > 0 {
+			return "", 0, fmt.Errorf("warming pass had %d failed requests", fails)
+		}
+		after, err := fetchWarmStats(base)
+		if err != nil {
+			return "", 0, err
+		}
+		if after.Warming != nil {
+			warming = after.Warming.Source
+		}
+		if after.BlockCache != nil && before.BlockCache != nil {
+			hits := after.BlockCache.Hits - before.BlockCache.Hits
+			misses := after.BlockCache.Misses - before.BlockCache.Misses
+			if hits+misses > 0 {
+				rate = float64(hits) / float64(hits+misses)
+			}
+		}
+		return warming, rate, nil
+	}
+
+	// Day one: serve the workload cold while the query log records it.
+	qlog, err := querylog.Open(qlogPath, querylog.Options{}, nil)
+	if err != nil {
+		return res, err
+	}
+	if _, _, err := servePhase(qlog, 0); err != nil {
+		qlog.Close()
+		return res, err
+	}
+	if err := qlog.Close(); err != nil {
+		return res, err
+	}
+
+	// Restart A: heuristic warming (no log configured).
+	if _, res.heuristicRate, err = servePhase(nil, warmSources); err != nil {
+		return res, err
+	}
+
+	// Restart B: the log is replayed on open and drives warming.
+	qlog, err = querylog.Open(qlogPath, querylog.Options{}, nil)
+	if err != nil {
+		return res, err
+	}
+	defer qlog.Close()
+	if res.source, res.hitRate, err = servePhase(qlog, warmSources); err != nil {
+		return res, err
+	}
+	logger.Info("warming pass complete",
+		"source", res.source,
+		"warm_hit_rate", fmt.Sprintf("%.3f", res.hitRate),
+		"heuristic_hit_rate", fmt.Sprintf("%.3f", res.heuristicRate))
+	return res, nil
+}
+
+// warmStatsView is the slice of /v1/stats the warming pass reads.
+type warmStatsView struct {
+	Warming *struct {
+		Source    string `json:"source"`
+		Requested int    `json:"requested"`
+		Warmed    int    `json:"warmed"`
+	} `json:"warming"`
+	BlockCache *struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"block_cache"`
+}
+
+func fetchWarmStats(base string) (*warmStatsView, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats returned %d", resp.StatusCode)
+	}
+	var st warmStatsView
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // driveWorkload replays the Zipfian query workload over HTTP and returns the

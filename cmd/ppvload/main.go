@@ -22,6 +22,11 @@
 // per-code breakdown, so epoch-divergence drills (a shard refusing a batch)
 // are visible immediately.
 //
+// -slow-ms sets a client-side slow threshold (default 250ms): queries over it
+// are counted, and the slowest one's server-retained trace id (from the
+// X-Fastppv-Trace response header) is printed ready to paste into
+// GET /v1/debug/trace/{id}.
+//
 // -json FILE additionally writes a machine-readable report in the shared
 // BENCH_*.json schema (internal/benchfmt), so ad-hoc runs are directly
 // comparable with the standing CI benchmark artifacts; "-json -" writes the
@@ -105,6 +110,7 @@ type outcome struct {
 	target    int
 	latency   time.Duration
 	state     string // X-Fastppv-Cache
+	traceID   string // X-Fastppv-Trace: set when the server retained this query's trace
 	isUpdate  bool
 	degraded  bool
 	bound     float64
@@ -123,6 +129,7 @@ func run(args []string) error {
 	eta := fs.Int("eta", 2, "online iterations per query")
 	top := fs.Int("top", 10, "ranked results per query")
 	updateEvery := fs.Int("update-every", 0, "make every Nth request a one-edge graph update posted to the first target (0 disables)")
+	slowMS := fs.Float64("slow-ms", 250, "client-side latency past which a query counts as slow in the summary and JSON report (negative disables)")
 	seed := fs.Int64("seed", 1, "workload seed")
 	jsonOut := fs.String("json", "", "write a BENCH_*.json-schema report (internal/benchfmt) to this file; \"-\" writes it to stdout")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -277,6 +284,7 @@ func run(args []string) error {
 				}
 				o.latency = time.Since(t0)
 				o.state = resp.Header.Get("X-Fastppv-Cache")
+				o.traceID = resp.Header.Get(api.TraceHeader)
 				o.bytes = len(raw)
 				o.degraded = body.Degraded
 				o.shardsOff = body.ShardsDown
@@ -298,6 +306,9 @@ func run(args []string) error {
 	states := map[string]int{}
 	errCodes := map[string]int{}
 	failures, updFailures, degraded, shardsDownMax := 0, 0, 0, 0
+	slowThreshold := time.Duration(*slowMS * float64(time.Millisecond))
+	slowCount, worstTraceID := 0, ""
+	var worstSlow time.Duration
 	for _, o := range outcomes {
 		if o.err != nil {
 			failures++
@@ -323,6 +334,14 @@ func run(args []string) error {
 		}
 		if o.shardsOff > shardsDownMax {
 			shardsDownMax = o.shardsOff
+		}
+		if slowThreshold > 0 && o.latency > slowThreshold {
+			slowCount++
+			// Prefer the slowest query the server retained a trace for, so
+			// the reported id is always resolvable via /v1/debug/trace/{id}.
+			if o.traceID != "" && (worstTraceID == "" || o.latency > worstSlow) {
+				worstSlow, worstTraceID = o.latency, o.traceID
+			}
 		}
 	}
 	if len(latencies) == 0 && len(updLatencies) == 0 {
@@ -372,6 +391,14 @@ func run(args []string) error {
 		fmt.Fprintf(out, "responses: hit=%d miss=%d coalesced=%d degraded=%d (max shards down %d)\n",
 			states["hit"], states["miss"], states["coalesced"], degraded, shardsDownMax)
 	}
+	if slowThreshold > 0 && slowCount > 0 {
+		line := fmt.Sprintf("slow queries (>%v): %d", slowThreshold, slowCount)
+		if worstTraceID != "" {
+			line += fmt.Sprintf(", worst retained trace %s (%v) — GET /v1/debug/trace/%s",
+				worstTraceID, worstSlow.Round(time.Microsecond), worstTraceID)
+		}
+		fmt.Fprintln(out, line)
+	}
 
 	for i, tgt := range targets {
 		if err := reportTarget(out, tgt, before[i], len(targets) > 1); err != nil {
@@ -410,6 +437,8 @@ func run(args []string) error {
 			ErrorBound:    benchfmt.Summarize(bounds),
 			CacheHitRate:  hitRate,
 			Failures:      failures,
+			SlowQueries:   slowCount,
+			WorstTraceID:  worstTraceID,
 		}
 		if err := benchfmt.WriteFile(*jsonOut, report); err != nil {
 			return err

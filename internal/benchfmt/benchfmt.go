@@ -79,6 +79,23 @@ type Report struct {
 	// WireBytesPerQuery is the mean bytes on the shard wire (both directions)
 	// per routed query in the cluster pass.
 	WireBytesPerQuery float64 `json:"wire_bytes_per_query,omitempty"`
+
+	// WarmSource names what chose the hubs of the startup warming pass:
+	// "querylog" (replayed persistent query log) or "heuristic" (hottest hubs
+	// by out-degree). Additive field of the warming pass (ppvbench -serve
+	// only); older reports omit it.
+	WarmSource string `json:"warm_source,omitempty"`
+	// WarmHitRate is the block-cache hit rate of the measured workload served
+	// right after warming (result cache disabled, so every request exercises
+	// the block cache). Additive.
+	WarmHitRate float64 `json:"warm_hit_rate,omitempty"`
+
+	// SlowQueries counts requests over the client-side slow threshold
+	// (ppvload -slow-ms) and WorstTraceID is the server-retained trace id of
+	// the slowest of them (from the X-Fastppv-Trace response header), ready
+	// for GET /v1/debug/trace/{id}. Additive; ppvload only.
+	SlowQueries  int    `json:"slow_queries,omitempty"`
+	WorstTraceID string `json:"worst_trace_id,omitempty"`
 }
 
 // GraphInfo describes the dataset the run was served from.

@@ -63,6 +63,10 @@ type RouterConfig struct {
 	// latency, query outcomes, and a scrape-time collector for epochs and
 	// health); nil records into a private, unexported registry.
 	Registry *telemetry.Registry
+	// LegLatencyBuckets overrides the bucket bounds of the shard-leg latency
+	// histogram family; nil means telemetry.DefLatencyBuckets. Bounds must be
+	// strictly ascending.
+	LegLatencyBuckets []float64
 	// Logger optionally receives structured router logs (health transitions,
 	// epoch raises, update fan-outs, traced queries); nil discards them.
 	Logger *slog.Logger
@@ -215,7 +219,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		speculate:  !cfg.DisableSpeculation,
 		transport:  cfg.Transport,
 		logger:     logger,
-		met:        newRouterMetrics(reg),
+		met:        newRouterMetrics(reg, cfg.LegLatencyBuckets),
 		stopHealth: make(chan struct{}),
 	}
 	r.clusterEpoch.Store(-1)

@@ -54,7 +54,13 @@ type routerMetrics struct {
 	specHits   *telemetry.Counter
 }
 
-func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
+// newRouterMetrics registers the router's hot-path handles. legBuckets
+// optionally overrides the shard-leg latency family's bucket bounds
+// (RouterConfig.LegLatencyBuckets); nil takes the shared default.
+func newRouterMetrics(reg *telemetry.Registry, legBuckets []float64) routerMetrics {
+	if legBuckets == nil {
+		legBuckets = telemetry.DefLatencyBuckets
+	}
 	return routerMetrics{
 		queries: reg.Counter("fastppv_router_queries_total",
 			"Routed cluster queries answered (including degraded answers)."),
@@ -70,7 +76,7 @@ func newRouterMetrics(reg *telemetry.Registry) routerMetrics {
 			telemetry.DefBoundBuckets),
 		legLatency: reg.HistogramVec("fastppv_shard_leg_seconds",
 			"Latency of one shard sub-request (partial or update leg).",
-			telemetry.DefLatencyBuckets, "shard"),
+			legBuckets, "shard"),
 		specSent: reg.Counter("fastppv_router_speculations_sent_total",
 			"Iterations pre-sent to shards before their go/no-go decision."),
 		specHits: reg.Counter("fastppv_router_speculation_hits_total",

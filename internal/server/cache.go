@@ -8,6 +8,7 @@ import (
 
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
+	"fastppv/internal/querylog"
 )
 
 // CacheKey identifies one cacheable answer: the query node together with the
@@ -45,6 +46,20 @@ type cachedAnswer struct {
 	shardsDown   int
 	shardsBehind int
 	lostMass     float64
+	// epoch is the index epoch the answer was computed against (the engine's
+	// own locally, the cluster epoch in router mode), recorded in the query
+	// log.
+	epoch uint64
+	// traceID is set when the always-on capturer retained this computation's
+	// trace (slow, degraded, sampled, or explicitly traced); it travels back
+	// in the X-Fastppv-Trace response header so a caller that just saw a slow
+	// answer can fetch /v1/debug/trace/{id}. slow records the slow-threshold
+	// verdict for the query log.
+	traceID string
+	slow    bool
+	// legs are the per-shard sub-request summaries of a router-mode answer,
+	// recorded in the query log.
+	legs []querylog.LegSummary
 	// bytes is the estimated memory footprint used for budget accounting.
 	bytes int64
 }

@@ -11,6 +11,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"time"
 
 	"fastppv/internal/core"
 	"fastppv/internal/telemetry"
@@ -31,12 +32,19 @@ type serverMetrics struct {
 	hubsExpanded    *telemetry.Counter
 	hubsSkipped     *telemetry.Counter
 	tracedQueries   *telemetry.Counter
+	slowQueries     *telemetry.Counter
 }
 
-func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+// newServerMetrics registers the hot-path handles. latencyBuckets optionally
+// overrides the HTTP latency family's bucket bounds (Config.LatencyBuckets);
+// nil takes the shared default.
+func newServerMetrics(reg *telemetry.Registry, latencyBuckets []float64) *serverMetrics {
+	if latencyBuckets == nil {
+		latencyBuckets = telemetry.DefLatencyBuckets
+	}
 	return &serverMetrics{
 		httpLatency: reg.HistogramVec("fastppv_http_request_seconds",
-			"HTTP request latency by endpoint.", telemetry.DefLatencyBuckets, "endpoint"),
+			"HTTP request latency by endpoint.", latencyBuckets, "endpoint"),
 		httpRequests: reg.CounterVec("fastppv_http_requests_total",
 			"HTTP requests by endpoint and status class.", "endpoint", "code"),
 		queriesComputed: reg.Counter("fastppv_queries_computed_total",
@@ -54,6 +62,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"Candidate hubs pruned by the delta threshold across all computed queries."),
 		tracedQueries: reg.Counter("fastppv_traced_queries_total",
 			"Queries served with ?trace=1 (computed fresh, never cached)."),
+		slowQueries: reg.Counter("fastppv_slow_queries_total",
+			"Computed queries over the slow threshold (trace retained in the debug ring)."),
 	}
 }
 
@@ -97,6 +107,30 @@ func (s *Server) registerCollectors(reg *telemetry.Registry) {
 			e.Gauge("fastppv_cache_entries", "Result-cache entries resident.", float64(cs.Entries))
 			e.Gauge("fastppv_cache_bytes", "Result-cache bytes resident.", float64(cs.Bytes))
 			e.Gauge("fastppv_cache_budget_bytes", "Result-cache byte budget.", float64(cs.BudgetBytes))
+		}
+		if s.traces != nil {
+			e.Counter("fastppv_traces_retained_total",
+				"Traces retained by the always-on capturer (slow, degraded, sampled or explicit).",
+				float64(s.traces.captured()))
+		}
+		if s.qlog != nil {
+			qst := s.qlog.Stats()
+			e.Counter("fastppv_querylog_records_total",
+				"Records appended to the persistent query log since start.", float64(qst.Appended))
+			e.Gauge("fastppv_querylog_bytes", "Bytes in the active query-log generation.", float64(qst.ActiveBytes))
+			e.Counter("fastppv_querylog_rotations_total", "Query-log generation rollovers.", float64(qst.Rotations))
+		}
+		if s.slo != nil {
+			st := s.slo.stats()
+			e.Counter("fastppv_slo_good_total", "Requests that met every configured SLO objective.", float64(st.Good))
+			e.Counter("fastppv_slo_bad_total", "Requests that failed or violated an SLO objective.", float64(st.Bad))
+			now := time.Now()
+			for _, wdw := range sloWindows {
+				burn, _, _ := s.slo.windowRates(now, wdw.buckets)
+				e.Gauge("fastppv_slo_burn_rate",
+					"Error-budget burn rate over the window: windowed bad fraction / 1% budget.",
+					burn, telemetry.L("window", wdw.name))
+			}
 		}
 		ps := core.QueryPoolStats()
 		e.Counter("fastppv_query_pool_gets_total",

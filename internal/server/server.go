@@ -59,6 +59,7 @@ import (
 	"fastppv/internal/core"
 	"fastppv/internal/graph"
 	"fastppv/internal/ppvindex"
+	"fastppv/internal/querylog"
 	"fastppv/internal/telemetry"
 )
 
@@ -94,6 +95,32 @@ type Config struct {
 	// disk-serving shard does not answer its first requests at cold-read
 	// latency. It is a no-op for in-memory indexes and cache-less stores.
 	WarmHubs int
+	// QueryLog optionally receives one record per completed query (and, when
+	// it was opened with replay before the server started, drives log-based
+	// cache warming instead of the out-degree heuristic). The server appends
+	// to it but does not own it: the caller opens and closes the log.
+	QueryLog *querylog.Log
+	// SlowThreshold is the compute duration past which a query's trace is
+	// retained unconditionally in the debug ring (GET /v1/debug/slow); zero
+	// means 250ms, negative disables the slow rule (degraded and sampled
+	// capture still apply).
+	SlowThreshold time.Duration
+	// TraceSampleEvery retains every Nth computed query's trace regardless of
+	// latency, so the ring always holds a background sample of healthy
+	// traffic; zero means 128, negative disables sampling.
+	TraceSampleEvery int
+	// TraceRetain is the capacity of the retained-trace ring; zero means 256.
+	TraceRetain int
+	// SLOLatency and SLOBound are the serving objectives: a request is a bad
+	// SLO event when it fails, exceeds SLOLatency, or answers with an L1
+	// error bound above SLOBound. Zero leaves the respective objective (and,
+	// if both are zero, SLO accounting entirely) off.
+	SLOLatency time.Duration
+	SLOBound   float64
+	// LatencyBuckets overrides the bucket bounds of the HTTP request-latency
+	// histogram family; nil means telemetry.DefLatencyBuckets. Bounds must be
+	// strictly ascending.
+	LatencyBuckets []float64
 	// Registry optionally receives the server's metrics and is served on
 	// GET /metrics; nil creates a private registry (the endpoint still works).
 	// In router mode, pass the same registry to the cluster.RouterConfig so
@@ -141,6 +168,21 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait < 0 {
 		c.QueueWait = 0
 	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 250 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 128
+	}
+	if c.TraceSampleEvery < 0 {
+		c.TraceSampleEvery = 0
+	}
+	if c.TraceRetain <= 0 {
+		c.TraceRetain = 256
+	}
 	return c
 }
 
@@ -170,6 +212,14 @@ type Server struct {
 	started  time.Time
 	updates  atomic.Int64
 	warmed   WarmStats
+
+	// qlog receives one record per completed query; nil when no query log is
+	// configured. traces is the always-on retained-trace ring; sampleCtr
+	// drives its every-Nth sampling. slo is nil unless an objective is set.
+	qlog      *querylog.Log
+	traces    *traceRing
+	sampleCtr atomic.Uint64
+	slo       *sloTracker
 	// inconsistent is set when an ApplyUpdate fails after the point of no
 	// return: the engine may mix old and new state, so health checks flip to
 	// failing until an operator intervenes (restart or full Precompute).
@@ -179,13 +229,23 @@ type Server struct {
 // WarmStats reports the startup block-cache warming pass.
 type WarmStats struct {
 	// Requested is the number of hubs warming was asked to preload
-	// (Config.WarmHubs clamped to the hubs this index actually holds).
+	// (Config.WarmHubs clamped to the hubs this index actually holds; in
+	// querylog mode, the distinct hub dependencies of the replayed top
+	// sources).
 	Requested int `json:"requested"`
 	// Warmed is how many hub blocks actually landed in the block cache; it is
 	// zero when the index has no cache to warm (in-memory, or caching
 	// disabled).
 	Warmed     int     `json:"warmed"`
 	DurationMS float64 `json:"duration_ms"`
+	// Source says what chose the hubs: "querylog" (frequency-decayed top
+	// sources replayed from the persistent query log, mapped to the hub
+	// dependencies their queries actually consume) or "heuristic" (hottest
+	// hubs by out-degree — the fallback when no log is configured or the log
+	// is empty).
+	Source string `json:"source,omitempty"`
+	// Sources is how many replayed top sources drove the querylog pass.
+	Sources int `json:"sources,omitempty"`
 }
 
 func newServer(cfg Config) *Server {
@@ -211,9 +271,12 @@ func newServer(cfg Config) *Server {
 			"partial": {},
 		},
 		registry: reg,
-		metrics:  newServerMetrics(reg),
+		metrics:  newServerMetrics(reg, cfg.LatencyBuckets),
 		logger:   logger,
 		started:  time.Now(),
+		qlog:     cfg.QueryLog,
+		traces:   newTraceRing(cfg.TraceRetain),
+		slo:      newSLOTracker(cfg.SLOLatency, cfg.SLOBound),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheBytes, cfg.CacheShards)
@@ -256,13 +319,25 @@ type hubWarmer interface {
 	WarmHubs(hubs []graph.NodeID) int
 }
 
-// warm preloads the Config.WarmHubs hottest hubs — hottest by out-degree,
-// ties broken by id for determinism — through the index's block cache.
+// warm preloads hub prime PPVs through the index's block cache at startup.
+// When a replayed query log is available it is the workload oracle: the
+// frequency-decayed top sources are run through the engine (at the default
+// eta) and the hub dependencies those queries actually consume are what gets
+// warmed — the observed workload, not a guess. Without a log (or with an
+// empty one) it falls back to the static heuristic: the Config.WarmHubs
+// hottest hubs by out-degree, ties broken by id for determinism.
 func (s *Server) warm() {
 	if s.cfg.WarmHubs <= 0 {
 		return
 	}
 	start := time.Now()
+	if s.qlog != nil && s.qlog.Records() > 0 {
+		if st, ok := s.warmFromLog(s.qlog.TopSources(s.cfg.WarmHubs)); ok {
+			s.warmed = st
+			s.warmed.DurationMS = float64(time.Since(start)) / 1e6
+			return
+		}
+	}
 	g := s.engine.Graph()
 	hubs := append([]graph.NodeID(nil), s.engine.Index().Hubs()...)
 	sort.Slice(hubs, func(i, j int) bool {
@@ -275,11 +350,53 @@ func (s *Server) warm() {
 	if len(hubs) > s.cfg.WarmHubs {
 		hubs = hubs[:s.cfg.WarmHubs]
 	}
+	s.warmed.Source = "heuristic"
 	s.warmed.Requested = len(hubs)
 	if w, ok := s.engine.Index().(hubWarmer); ok {
 		s.warmed.Warmed = w.WarmHubs(hubs)
 	}
 	s.warmed.DurationMS = float64(time.Since(start)) / 1e6
+}
+
+// warmFromLog runs the top replayed sources as real queries — pulling exactly
+// the hub blocks the workload needs through the block cache — and then asks
+// the store to pin their union of hub dependencies, which also yields the
+// comparable Warmed count. Returns ok=false when no replayed source is still
+// a valid node (e.g. the log belongs to another graph), in which case the
+// caller falls back to the heuristic.
+func (s *Server) warmFromLog(sources []graph.NodeID) (WarmStats, bool) {
+	g := s.engine.Graph()
+	depSet := make(map[graph.NodeID]struct{})
+	ran := 0
+	stop := core.StopCondition{MaxIterations: s.cfg.DefaultEta}
+	for _, src := range sources {
+		if src < 0 || int(src) >= g.NumNodes() {
+			continue
+		}
+		qs, err := s.engine.NewQuery(src)
+		if err != nil {
+			continue
+		}
+		qs.Run(stop)
+		for _, h := range qs.HubDeps() {
+			depSet[h] = struct{}{}
+		}
+		qs.Close()
+		ran++
+	}
+	if ran == 0 {
+		return WarmStats{}, false
+	}
+	deps := make([]graph.NodeID, 0, len(depSet))
+	for h := range depSet {
+		deps = append(deps, h)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	st := WarmStats{Source: "querylog", Sources: ran, Requested: len(deps)}
+	if w, ok := s.engine.Index().(hubWarmer); ok {
+		st.Warmed = w.WarmHubs(deps)
+	}
+	return st, true
 }
 
 // Handler returns the HTTP handler exposing the API. GET /metrics and
@@ -297,6 +414,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.Handle("GET /metrics", s.registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The debug surface (retained traces) is operator traffic like /metrics:
+	// mounted outside instrument so inspecting an incident never perturbs the
+	// request histograms it is being used to explain.
+	mux.HandleFunc("GET /v1/debug/slow", s.handleDebugSlow)
+	mux.HandleFunc("GET /v1/debug/trace/{id}", s.handleDebugTrace)
 	// The stream endpoint hijacks its connection and lives for the life of a
 	// router process; instrumenting it would record one meaningless
 	// hours-long latency sample, so it stays outside instrument.
@@ -544,8 +666,15 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 			shardsDown:   cres.ShardsDown,
 			shardsBehind: cres.ShardsBehind,
 			lostMass:     cres.LostFrontierMass,
+			epoch:        cres.Epoch,
+			legs:         legSummaries(cres.Spans),
 		}
 		s.metrics.observeQuery(cres.Iterations, cres.L1ErrorBound, cres.HubsExpanded, cres.HubsSkipped, ans.degraded)
+		// The router always collects per-iteration spans (Query is QueryTrace
+		// with an empty id), so retaining a slow/degraded/sampled trace here
+		// is free of extra computation.
+		ans.traceID, ans.slow = s.captureCompute("router", key.Node, eta, cres.Duration,
+			cres.L1ErrorBound, ans.degraded, func() []TraceSpan { return spansFromCluster(cres.Spans) })
 		// Cluster-degraded answers carry a bound widened by lost shards; they
 		// must not outlive the outage in the cache. An answer evaluated at a
 		// newer epoch than the key's (an update raced this query) is left
@@ -568,8 +697,12 @@ func (s *Server) compute(key CacheKey, unregister func()) (*cachedAnswer, error)
 	// Run materialized the result; Close recycles the pooled query buffers so
 	// a steady serving workload answers without per-query allocations.
 	qs.Close()
-	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded}
+	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded, epoch: s.engine.Epoch()}
 	s.observeEngineResult(res, degraded)
+	// The engine keeps per-iteration stats on every result, so span assembly
+	// only happens when the capturer decides to retain this computation.
+	ans.traceID, ans.slow = s.captureCompute("engine", key.Node, eta, res.Duration,
+		res.L1ErrorBound, degraded, func() []TraceSpan { return spansFromCore(res.PerIteration) })
 	if s.cache != nil && !degraded {
 		s.cache.Put(key, ans)
 	}
@@ -613,6 +746,7 @@ func (s *Server) render(req queryRequest, ans *cachedAnswer) QueryResponse {
 }
 
 func (s *Server) handlePPV(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	params := map[string]string{}
 	for _, k := range []string{"node", "eta", "target-error", "top"} {
 		if v := r.URL.Query().Get(k); v != "" {
@@ -631,15 +765,18 @@ func (s *Server) handlePPV(w http.ResponseWriter, r *http.Request) {
 		}
 		ans, tb, err := s.computeTraced(req, traceID)
 		if err != nil {
+			s.finishQuery(req, nil, cacheBypass, start, true, err)
 			writeError(w, err)
 			return
 		}
+		s.retainExplicit(req, ans, tb)
 		w.Header().Set(api.TraceHeader, traceID)
 		w.Header().Set("X-Fastppv-Cache", string(cacheBypass))
 		w.Header().Set("X-Fastppv-Compute-Ms",
 			strconv.FormatFloat(float64(ans.result.Duration)/1e6, 'f', 3, 64))
 		resp := s.render(req, ans)
 		resp.Trace = tb
+		s.finishQuery(req, ans, cacheBypass, start, true, nil)
 		s.logger.Info("traced query",
 			"trace_id", traceID, "node", resp.Node, "iterations", resp.Iterations,
 			"l1_error_bound", resp.L1ErrorBound, "degraded", resp.Degraded,
@@ -649,13 +786,40 @@ func (s *Server) handlePPV(w http.ResponseWriter, r *http.Request) {
 	}
 	ans, state, err := s.answer(req)
 	if err != nil {
+		s.finishQuery(req, nil, state, start, false, err)
 		writeError(w, err)
 		return
+	}
+	if ans.traceID != "" {
+		// This answer's computation was retained by the always-on capturer
+		// (slow, degraded or sampled): hand the caller the id so the full
+		// per-iteration trace is one GET /v1/debug/trace/{id} away.
+		w.Header().Set(api.TraceHeader, ans.traceID)
 	}
 	w.Header().Set("X-Fastppv-Cache", string(state))
 	w.Header().Set("X-Fastppv-Compute-Ms",
 		strconv.FormatFloat(float64(ans.result.Duration)/1e6, 'f', 3, 64))
+	s.finishQuery(req, ans, state, start, false, nil)
 	writeJSON(w, http.StatusOK, s.render(req, ans))
+}
+
+// finishQuery is the one place a completed /v1/ppv or batch query lands: it
+// classifies the outcome against the SLO objectives and appends the record to
+// the persistent query log. Client mistakes (4xx) are neither SLO events nor
+// log records; server-side failures (shed, unavailable, internal) are bad SLO
+// events but have no answer to log.
+func (s *Server) finishQuery(req queryRequest, ans *cachedAnswer, state cacheState, start time.Time, explicit bool, err error) {
+	lat := time.Since(start)
+	if err != nil {
+		var herr *httpError
+		if errors.As(err, &herr) && herr.status >= 400 && herr.status < 500 {
+			return
+		}
+		s.observeSLO(lat, 0, true)
+		return
+	}
+	s.observeSLO(lat, ans.result.L1ErrorBound, false)
+	s.logQuery(req, ans, state, lat, explicit)
 }
 
 // BatchRequest is the body of POST /v1/ppv/batch.
@@ -712,11 +876,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		ans, _, err := s.answer(req)
+		qstart := time.Now()
+		ans, state, err := s.answer(req)
 		if err != nil {
+			s.finishQuery(req, nil, state, qstart, false, err)
 			writeError(w, err)
 			return
 		}
+		s.finishQuery(req, ans, state, qstart, false, nil)
 		resp.Results = append(resp.Results, s.render(req, ans))
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -1110,7 +1277,13 @@ type StatsResponse struct {
 	Durability *ppvindex.DurabilityStats `json:"durability,omitempty"`
 	// Streams reports the binary partial-stream surface (engine mode): open
 	// streams, wire traffic, and per-stream admission accounting.
-	Streams        *StreamStats                 `json:"streams,omitempty"`
+	Streams *StreamStats `json:"streams,omitempty"`
+	// QueryLog reports the persistent query log, present when one is
+	// configured.
+	QueryLog *querylog.Stats `json:"query_log,omitempty"`
+	// SLO reports good/bad event totals and multi-window burn rates, present
+	// when an objective (-slo-p99-ms / -slo-bound) is set.
+	SLO            *SLOStats                    `json:"slo,omitempty"`
 	Admission      AdmissionStats               `json:"admission"`
 	Coalesced      int64                        `json:"coalesced"`
 	UpdatesApplied int64                        `json:"updates_applied"`
@@ -1182,6 +1355,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		st := s.cache.Stats()
 		resp.Cache = &st
+	}
+	if s.qlog != nil {
+		st := s.qlog.Stats()
+		resp.QueryLog = &st
+	}
+	if s.slo != nil {
+		st := s.slo.stats()
+		resp.SLO = &st
 	}
 	for name, h := range s.hists {
 		resp.Endpoints[name] = h.Snapshot()

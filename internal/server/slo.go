@@ -1,0 +1,144 @@
+// slo.go is service-level-objective accounting: the operator declares a
+// latency objective and/or an error-bound objective (fastppvd -slo-p99-ms,
+// -slo-bound) and the server classifies every completed request as good or
+// bad against them. Alongside lifetime totals it keeps a ring of 10-second
+// buckets so multi-window burn rates — how fast the error budget is being
+// consumed relative to its sustainable rate — are exported as gauges over 1m,
+// 5m and 1h windows. Burn rate 1.0 means the budget is being spent exactly at
+// the allowed rate; an on-call alert on (burn_1h > 14 && burn_5m > 14) is the
+// standard fast-burn page.
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// sloBucketSeconds is the accounting granularity.
+	sloBucketSeconds = 10
+	// sloBuckets sizes the ring to cover the longest window (1h).
+	sloBuckets = 360
+	// sloErrorBudget is the allowed bad-event fraction: the latency objective
+	// is a p99, so 1% of events may violate it before the budget burns.
+	sloErrorBudget = 0.01
+)
+
+// sloWindows are the burn-rate windows exported, in buckets.
+var sloWindows = []struct {
+	name    string
+	buckets int64
+}{
+	{"1m", 6},
+	{"5m", 30},
+	{"1h", 360},
+}
+
+type sloBucket struct {
+	stamp atomic.Int64 // unix time / sloBucketSeconds
+	good  atomic.Int64
+	bad   atomic.Int64
+}
+
+// sloTracker classifies events and accumulates windowed counts. All paths are
+// lock-free: one stamp compare (plus a CAS on a fresh bucket boundary) and
+// two atomic adds per event.
+type sloTracker struct {
+	latency time.Duration // 0 = no latency objective
+	bound   float64       // 0 = no bound objective
+
+	good    atomic.Int64
+	bad     atomic.Int64
+	buckets [sloBuckets]sloBucket
+}
+
+func newSLOTracker(latency time.Duration, bound float64) *sloTracker {
+	if latency <= 0 && bound <= 0 {
+		return nil
+	}
+	return &sloTracker{latency: latency, bound: bound}
+}
+
+// observe classifies one completed request. failed covers error responses
+// (shed, unavailable, internal); successful answers are judged against the
+// configured objectives.
+func (t *sloTracker) observe(lat time.Duration, bound float64, failed bool) {
+	isBad := failed ||
+		(t.latency > 0 && lat > t.latency) ||
+		(t.bound > 0 && bound > t.bound)
+	stamp := time.Now().Unix() / sloBucketSeconds
+	b := &t.buckets[stamp%sloBuckets]
+	if s := b.stamp.Load(); s != stamp {
+		// First event in a fresh 10s slot: whoever wins the CAS clears the
+		// recycled counters. A racing event counted against the stale stamp
+		// can be lost to the reset; at one bucket per 10s that smear is noise.
+		if b.stamp.CompareAndSwap(s, stamp) {
+			b.good.Store(0)
+			b.bad.Store(0)
+		}
+	}
+	if isBad {
+		t.bad.Add(1)
+		b.bad.Add(1)
+	} else {
+		t.good.Add(1)
+		b.good.Add(1)
+	}
+}
+
+// windowRates returns (burn rate, bad fraction, events) for a window of n
+// buckets ending now.
+func (t *sloTracker) windowRates(now time.Time, n int64) (burn, badFrac float64, events int64) {
+	nowStamp := now.Unix() / sloBucketSeconds
+	var good, bad int64
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if s := b.stamp.Load(); s > nowStamp-n && s <= nowStamp {
+			good += b.good.Load()
+			bad += b.bad.Load()
+		}
+	}
+	events = good + bad
+	if events == 0 {
+		return 0, 0, 0
+	}
+	badFrac = float64(bad) / float64(events)
+	return badFrac / sloErrorBudget, badFrac, events
+}
+
+// SLOStats is the "slo" block of GET /v1/stats.
+type SLOStats struct {
+	// LatencyObjectiveMS and BoundObjective echo the configured objectives
+	// (zero = not set).
+	LatencyObjectiveMS float64 `json:"latency_objective_ms,omitempty"`
+	BoundObjective     float64 `json:"bound_objective,omitempty"`
+	// Good and Bad are lifetime event totals.
+	Good int64 `json:"good"`
+	Bad  int64 `json:"bad"`
+	// BurnRate* is the windowed bad-fraction divided by the 1% error budget:
+	// 1.0 consumes the budget exactly at the sustainable rate.
+	BurnRate1M float64 `json:"burn_rate_1m"`
+	BurnRate5M float64 `json:"burn_rate_5m"`
+	BurnRate1H float64 `json:"burn_rate_1h"`
+}
+
+func (t *sloTracker) stats() SLOStats {
+	now := time.Now()
+	st := SLOStats{
+		LatencyObjectiveMS: float64(t.latency) / 1e6,
+		BoundObjective:     t.bound,
+		Good:               t.good.Load(),
+		Bad:                t.bad.Load(),
+	}
+	st.BurnRate1M, _, _ = t.windowRates(now, sloWindows[0].buckets)
+	st.BurnRate5M, _, _ = t.windowRates(now, sloWindows[1].buckets)
+	st.BurnRate1H, _, _ = t.windowRates(now, sloWindows[2].buckets)
+	return st
+}
+
+// observeSLO classifies one completed request when SLO objectives are set.
+func (s *Server) observeSLO(lat time.Duration, bound float64, failed bool) {
+	if s.slo != nil {
+		s.slo.observe(lat, bound, failed)
+	}
+}

@@ -144,6 +144,8 @@ func (s *Server) computeTraced(req queryRequest, traceID string) (*cachedAnswer,
 			shardsDown:   cres.ShardsDown,
 			shardsBehind: cres.ShardsBehind,
 			lostMass:     cres.LostFrontierMass,
+			epoch:        cres.Epoch,
+			legs:         legSummaries(cres.Spans),
 		}
 		s.metrics.observeQuery(cres.Iterations, cres.L1ErrorBound, cres.HubsExpanded, cres.HubsSkipped, ans.degraded)
 		tb := &TraceBlock{
@@ -165,7 +167,7 @@ func (s *Server) computeTraced(req queryRequest, traceID string) (*cachedAnswer,
 	res := qs.Run(stop)
 	deps := qs.HubDeps()
 	qs.Close()
-	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded}
+	ans := &cachedAnswer{result: res, deps: deps, degraded: degraded, epoch: s.engine.Epoch()}
 	s.observeEngineResult(res, degraded)
 	tb := &TraceBlock{
 		TraceID:    traceID,

@@ -8,12 +8,17 @@ import (
 )
 
 // DefLatencyBuckets is the default bucket layout for request/leg latency
-// histograms, in seconds: 100µs to 10s with roughly 2.5x steps, bracketing
-// both the ~100ns warm-cache path (first bucket) and slow scatter-gather
-// tails.
+// histograms, in seconds: 10µs to 60s with roughly 2.5x steps. The range is
+// deliberately wide at both ends — at tiny benchmark scale warm cache hits
+// land well under 100µs and everything past the top bound collapses into the
+// +Inf bucket, clamping the reported p99 at the last finite edge, so the
+// bottom reaches 10µs and the top 60s. Families with a tighter known range
+// can pass their own layout (server.Config.LatencyBuckets,
+// cluster.RouterConfig.LegLatencyBuckets).
 var DefLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 60,
 }
 
 // DefBoundBuckets is the default layout for L1-error-bound observations

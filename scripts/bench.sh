@@ -2,19 +2,19 @@
 # bench.sh runs the standing serving benchmark and writes the BENCH_*.json
 # perf-trajectory artifact for the current tree.
 #
-#   scripts/bench.sh                 # BENCH_8.json, tiny scale (CI default)
-#   scripts/bench.sh BENCH_8.json small 5000 16
+#   scripts/bench.sh                 # BENCH_9.json, tiny scale (CI default)
+#   scripts/bench.sh BENCH_9.json small 5000 16
 #
 # Arguments: [out] [scale] [requests] [concurrency]. The report schema is
 # internal/benchfmt; `ppvload -json` emits the same schema against a live
 # deployment, so ad-hoc and CI numbers are directly comparable. Compare two
 # artifacts (and gate on warm-read/qps regressions) with:
 #
-#   go run ./scripts BENCH_7.json BENCH_8.json
+#   go run ./scripts BENCH_8.json BENCH_9.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 SCALE="${2:-tiny}"
 REQUESTS="${3:-2000}"
 CONCURRENCY="${4:-8}"

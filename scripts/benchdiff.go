@@ -58,6 +58,10 @@ func main() {
 	failures += row("cluster_vs_single", oldRep.ClusterVsSingleRatio, newRep.ClusterVsSingleRatio, lowerIsBetter, *maxRegress)
 	failures += row("wire_bytes_per_q", oldRep.WireBytesPerQuery, newRep.WireBytesPerQuery, lowerIsBetter, *maxRegress)
 	failures += row("spec_hit_rate", oldRep.SpeculationHitRate, newRep.SpeculationHitRate, higherIsBetter, *maxRegress)
+	// Warming-pass metric (additive in PR 9): the block-cache hit rate right
+	// after log-driven startup warming must not erode — it is the measured
+	// payoff of replaying the persistent query log across a restart.
+	failures += row("warm_hit_rate", oldRep.WarmHitRate, newRep.WarmHitRate, higherIsBetter, *maxRegress)
 	// Informational metrics.
 	row("cluster_p50_ms", oldRep.ClusterP50MS, newRep.ClusterP50MS, lowerIsBetter, 0)
 	row("cold_read_ns", oldRep.ColdReadNS, newRep.ColdReadNS, lowerIsBetter, 0)
