@@ -1,0 +1,163 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"fastppv/internal/sparse"
+)
+
+// FuzzBinaryFrame feeds arbitrary bytes to the FPS1 frame reader. The framing
+// contract: a clean EOF at a frame boundary is io.EOF, everything else that
+// fails wraps ErrBadFrame, and a frame that decodes re-encodes to the exact
+// consumed bytes. Payloads of known frame types additionally go through their
+// message decoders, which must return structured errors (never panic) and
+// reach a canonical encode/decode fixed point when they accept the payload.
+func FuzzBinaryFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if _, err := WriteFrame(&valid, FrameCancel, EncodeCancel(7, 0xDEADBEEF)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("FPS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ftype, payload, n, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("ReadFrame returned unstructured error %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("ReadFrame consumed %d of %d bytes", n, len(data))
+		}
+		var re bytes.Buffer
+		if _, werr := WriteFrame(&re, ftype, payload); werr != nil {
+			t.Fatalf("re-encoding a decoded frame failed: %v", werr)
+		}
+		if !bytes.Equal(re.Bytes(), data[:n]) {
+			t.Fatalf("frame round trip mismatch: got %x want %x", re.Bytes(), data[:n])
+		}
+		checkPayloadFixedPoint(t, ftype, payload)
+	})
+}
+
+// checkPayloadFixedPoint runs the typed message decoder over an accepted
+// frame payload. A rejected payload is fine; an accepted one must reach a
+// canonical fixed point: encode(decode(p)) re-decodes and re-encodes to
+// byte-identical output.
+func checkPayloadFixedPoint(t *testing.T, ftype byte, payload []byte) {
+	t.Helper()
+	switch ftype {
+	case FramePartialRequest:
+		id, traceID, preq, err := DecodePartialRequest(payload)
+		if err != nil {
+			return
+		}
+		p2, err := EncodePartialRequest(id, traceID, preq)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded partial request failed: %v", err)
+		}
+		id3, trace3, preq3, err := DecodePartialRequest(p2)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded partial request failed: %v", err)
+		}
+		p3, err := EncodePartialRequest(id3, trace3, preq3)
+		if err != nil || !bytes.Equal(p2, p3) {
+			t.Fatalf("partial request did not reach an encode fixed point (err=%v)", err)
+		}
+	case FramePartialResponse:
+		id, presp, err := DecodePartialResponse(payload)
+		if err != nil {
+			return
+		}
+		p2, err := EncodePartialResponse(id, presp)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded partial response failed: %v", err)
+		}
+		id3, presp3, err := DecodePartialResponse(p2)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded partial response failed: %v", err)
+		}
+		p3, err := EncodePartialResponse(id3, presp3)
+		if err != nil || !bytes.Equal(p2, p3) {
+			t.Fatalf("partial response did not reach an encode fixed point (err=%v)", err)
+		}
+	case FrameError:
+		id, e, err := DecodeError(payload)
+		if err != nil {
+			return
+		}
+		p2 := EncodeError(id, e)
+		id3, e3, err := DecodeError(p2)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded error failed: %v", err)
+		}
+		if !bytes.Equal(p2, EncodeError(id3, e3)) {
+			t.Fatal("error message did not reach an encode fixed point")
+		}
+	case FrameCancel:
+		id, hash, err := DecodeCancel(payload)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeCancel(id, hash), payload) {
+			t.Fatal("cancel message round trip mismatch")
+		}
+	}
+}
+
+// FuzzVectorRoundTrip drives the wire-vector codec from raw bytes: the input
+// is chopped into (node, score) entries, encoded, decoded, and compared
+// bit-for-bit. Encoding sorts by node id and a map collapses duplicate ids,
+// so the invariant is the canonical fixed point encode(decode(encode(v))) ==
+// encode(v), plus exact score-bit preservation per surviving node.
+func FuzzVectorRoundTrip(f *testing.F) {
+	seed := make([]byte, 2*sparse.EncodedEntrySize)
+	sparse.PutEncodedEntry(seed, 3, 0.5)
+	sparse.PutEncodedEntry(seed[sparse.EncodedEntrySize:], 9, math.SmallestNonzeroFloat64)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / sparse.EncodedEntrySize
+		v := sparse.New(n)
+		for i := 0; i < n; i++ {
+			id, s := sparse.EncodedEntryAt(data[:n*sparse.EncodedEntrySize], i)
+			v[id] = s
+		}
+		w := EncodeVector(v)
+		back, err := w.Decode()
+		if err != nil {
+			t.Fatalf("decoding an encoded vector failed: %v", err)
+		}
+		if len(back) != len(v) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(back), len(v))
+		}
+		for id, s := range v {
+			got, ok := back[id]
+			if !ok || math.Float64bits(got) != math.Float64bits(s) {
+				t.Fatalf("node %d: score %x round-tripped to %x (present=%v)",
+					id, math.Float64bits(s), math.Float64bits(got), ok)
+			}
+		}
+		w2 := EncodeVector(back)
+		if len(w2.Nodes) != len(w.Nodes) {
+			t.Fatal("re-encoding changed the wire length")
+		}
+		for i := range w.Nodes {
+			if w2.Nodes[i] != w.Nodes[i] || math.Float64bits(w2.Scores[i]) != math.Float64bits(w.Scores[i]) {
+				t.Fatalf("wire entry %d not canonical across re-encode", i)
+			}
+		}
+		// Decode must also reject mismatched parallel slices structurally.
+		if len(w.Nodes) > 0 {
+			if _, err := (Vector{Nodes: w.Nodes, Scores: w.Scores[:len(w.Scores)-1]}).Decode(); err == nil {
+				t.Fatal("Decode accepted mismatched node/score lengths")
+			}
+		}
+	})
+}

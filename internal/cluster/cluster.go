@@ -127,6 +127,7 @@ func Partition(g *graph.Graph, opts Options) (*Clustering, error) {
 	// assign each node to its best anchor.
 	for clusterID, anchor := range anchors {
 		ppv := approximatePPV(g, anchor, opts.Alpha, opts.PushThreshold)
+		//lint:ordered each node occurs once per anchor PPV and the strict-improvement update is per-node independent
 		for node, score := range ppv {
 			if assignment[node] == -1 || score > bestScore[node] {
 				assignment[node] = int32(clusterID)
@@ -184,6 +185,7 @@ func approximatePPV(g *graph.Graph, src graph.NodeID, alpha, threshold float64) 
 			}
 		}
 	}
+	//lint:ordered each node occurs once in the residual map, so the per-node Add calls are independent
 	for u, mass := range residual {
 		estimate.Add(u, alpha*mass)
 	}

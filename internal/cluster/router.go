@@ -709,6 +709,7 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result,
 		}
 		// Rooting at the cluster epoch (or discovering it): every shard that
 		// answered below it is stale for the rest of this query.
+		//lint:ordered per-shard set inserts are independent
 		for i := range behind {
 			stale[i] = struct{}{}
 		}
@@ -720,11 +721,13 @@ func (r *Router) root(q graph.NodeID, down, stale map[int]struct{}, res *Result,
 		// for expansion — mass only folds for epochs differing from the
 		// root's.
 		best, bestShard := (*api.PartialResponse)(nil), -1
+		//lint:ordered argmax under the (epoch desc, shard index asc) total order; the winner is visit-order independent
 		for i, resp := range behind {
 			if best == nil || resp.Epoch > best.Epoch || (resp.Epoch == best.Epoch && i < bestShard) {
 				best, bestShard = resp, i
 			}
 		}
+		//lint:ordered per-shard epoch comparison with independent set inserts
 		for i, resp := range behind {
 			if resp.Epoch != best.Epoch {
 				stale[i] = struct{}{}
@@ -783,6 +786,7 @@ func (r *Router) scatter(ctx context.Context, frontier map[graph.NodeID]float64,
 		iter:        iter,
 		speculative: speculative,
 	}
+	//lint:ordered each hub occurs once and is routed to exactly one owner group; grouping is order-free
 	for h, w := range frontier {
 		owner := r.part.Owner(h)
 		if sc.groups[owner] == nil {
@@ -860,6 +864,7 @@ func (r *Router) gather(sc *scatterSet, res *Result, down, stale map[int]struct{
 		// prefix mass goes unexpanded, the exact bound widens by exactly that
 		// much, and the answer is degraded.
 		foldGroup := func() {
+			//lint:ordered FP fold into the pessimistic lost-mass bound; rounding-order variance is far below the bound's width and it is never ranking input
 			for _, w := range group {
 				res.LostFrontierMass += w
 			}
@@ -899,6 +904,7 @@ func (r *Router) gather(sc *scatterSet, res *Result, down, stale map[int]struct{
 			merged.AddVector(inc)
 			var front map[graph.NodeID]float64
 			if front, err = reply.Frontier.DecodeMap(); err == nil {
+				//lint:ordered each hub occurs once per reply, so every next[h] sees exactly one add per shard regardless of order
 				for h, w := range front {
 					next[h] += w
 				}

@@ -527,6 +527,7 @@ func (c *streamConn) readLoop(t *streamTransport) {
 			// Fail the stragglers (roundTrip also listens on done; this keeps
 			// the map from pinning channels).
 			c.mu.Lock()
+			//lint:ordered teardown error broadcast; every pending channel gets the same error and delivery order is unobservable
 			for id, ch := range c.pending {
 				delete(c.pending, id)
 				select {

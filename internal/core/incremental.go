@@ -123,6 +123,7 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 			continue
 		}
 		hit := false
+		//lint:ordered membership OR over a set; the result is order-free
 		for t := range touched {
 			if _, reachable := ppv[t]; reachable || t == h {
 				hit = true
@@ -180,6 +181,7 @@ func (e *Engine) ApplyUpdate(upd GraphUpdate) (UpdateStats, error) {
 	stats.AffectedHubs = len(affected)
 	stats.Recomputed = affected
 	stats.TouchedNodes = make([]graph.NodeID, 0, len(touched))
+	//lint:ordered collect-then-sort: the slice is sorted by node id on the next line
 	for t := range touched {
 		stats.TouchedNodes = append(stats.TouchedNodes, t)
 	}

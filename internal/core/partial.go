@@ -92,6 +92,7 @@ func (e *Engine) PartialExpand(frontier map[graph.NodeID]float64) (*PartialIncre
 	b := getQueryBufs()
 	defer putQueryBufs(b)
 	hubs := make([]graph.NodeID, 0, len(frontier))
+	//lint:ordered collect-then-sort: hubs are sorted by id before expansion
 	for h := range frontier {
 		hubs = append(hubs, h)
 	}

@@ -45,24 +45,27 @@ var (
 	poolHits     atomic.Int64
 )
 
-// getQueryBufs takes a reset buffer bundle from the pool (counting hit/miss
-// so /metrics can expose the steady-state reuse rate).
+// getQueryBufs takes a buffer bundle from the pool (counting hit/miss so
+// /metrics can expose the steady-state reuse rate). Bundles are reset on the
+// way in (putQueryBufs), so pooled ones are ready to use as-is.
 func getQueryBufs() *queryBufs {
 	poolGets.Add(1)
 	if v := queryBufPool.Get(); v != nil {
 		poolHits.Add(1)
-		b := v.(*queryBufs)
-		b.reset()
-		return b
+		return v.(*queryBufs)
 	}
 	return &queryBufs{}
 }
 
-// putQueryBufs returns a bundle to the pool. The caller must not retain any
-// slice or view of it afterwards; boundary results (Result.Estimate,
-// PartialIncrement) are always materialized copies, never pooled storage.
+// putQueryBufs resets a bundle and returns it to the pool. Resetting at Put
+// time (not after Get) drops the bundle's references to query state before it
+// sits in the pool, so the GC can reclaim what the buffers pointed at. The
+// caller must not retain any slice or view of it afterwards; boundary results
+// (Result.Estimate, PartialIncrement) are always materialized copies, never
+// pooled storage.
 func putQueryBufs(b *queryBufs) {
 	if b != nil {
+		b.reset()
 		queryBufPool.Put(b)
 	}
 }

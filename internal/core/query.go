@@ -266,6 +266,7 @@ func (qs *QueryState) Iteration() int { return qs.iteration }
 // invalidated when any of these hubs' prime PPVs is recomputed.
 func (qs *QueryState) HubDeps() []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(qs.deps))
+	//lint:ordered collect-then-sort: deps are sorted by id before returning
 	for h := range qs.deps {
 		out = append(out, h)
 	}

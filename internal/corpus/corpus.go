@@ -1,0 +1,44 @@
+// Package corpus writes committed Go fuzz seed corpora. Each seed becomes one
+// file under testdata/fuzz/<FuzzName>/ in the native `go test fuzz v1`
+// encoding, so `go test -run=Fuzz<Name>` and `go test -fuzz` pick it up with
+// no flags. Generators are ordinary tests gated behind PPV_REGEN_CORPUS=1:
+// seeds are built with the real encoders, regenerated only when a codec
+// change invalidates them, and reviewed like any other checked-in file.
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// SkipUnlessRegen skips t unless corpus regeneration was requested via
+// PPV_REGEN_CORPUS=1.
+func SkipUnlessRegen(t *testing.T) {
+	t.Helper()
+	if os.Getenv("PPV_REGEN_CORPUS") == "" {
+		t.Skip("corpus generator; run with PPV_REGEN_CORPUS=1 to regenerate testdata/fuzz")
+	}
+}
+
+// Write replaces the seed corpus of fuzzName (relative to the calling
+// package's testdata/fuzz directory) with the given seeds, one file each,
+// named seed-NN in argument order.
+func Write(t *testing.T, fuzzName string, seeds ...[]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

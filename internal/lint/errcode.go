@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCode enforces the structured error envelope in the serving layer: every
+// failure leaving internal/server carries a machine-readable internal/api
+// error code (bad_request, overloaded, retry, ...) that the cluster router
+// and the load tooling dispatch on. A naked http.Error writes a bare
+// text/plain body that the router would misclassify as an opaque internal
+// fault, so the analyzer bans http.Error in internal/server outright —
+// handlers must go through the envelope writer.
+var ErrCode = &Analyzer{
+	Name: "errcode",
+	Doc: "HTTP handlers in internal/server must emit the structured " +
+		"internal/api error envelope, never naked http.Error",
+	Run: runErrCode,
+}
+
+func runErrCode(pass *Pass) (interface{}, error) {
+	if !pathHasSuffix(pass.Path, "internal/server") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Error" {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"naked http.Error in internal/server: failures must use the structured internal/api error envelope (writeError) so clients can dispatch on the error code")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,159 @@
+// load.go enumerates, parses and type-checks packages for the analyzers
+// without any dependency outside the standard library. The heavy lifting is
+// delegated to the go tool: `go list -export -deps -json` compiles every
+// package (through the build cache) and reports the gc export-data file of
+// each, and go/importer's gc mode can import straight from those files via a
+// lookup function. Only the packages under analysis are parsed from source;
+// every dependency — stdlib included — is imported from export data, which is
+// both fast and exactly what the compiler itself saw.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir), compiles
+// them through the go tool, and returns each non-test package in the main
+// module parsed and type-checked. Dependencies are imported from gc export
+// data, so Load needs no network and no GOPATH layout.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !strings.HasPrefix(p.ImportPath, "vendor/") {
+			targets = append(targets, p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(p.ImportPath, p.Dir, p.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the package stream.
+// -deps pulls in every dependency (stdlib included) so the export map covers
+// all import paths the targets' export data can reference.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		listed = append(listed, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return listed, nil
+}
+
+// checkPackage parses and type-checks one package from source, importing its
+// dependencies from the export-data files in exports.
+func checkPackage(path, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: newExportImporter(fset, exports)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// newExportImporter returns an importer that resolves every import path from
+// the given map of gc export-data files.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolHygiene flags sync.Pool.Put calls whose argument's type carries a
+// Reset (or unexported reset) method that is not invoked on that value
+// anywhere in the same function. A pooled value that re-enters the pool
+// un-reset leaks one query's state — accumulator entries, frontier slices,
+// retained views — into an unrelated later query, which is both a
+// correctness and an isolation hazard. Resetting at Put time (rather than
+// after Get) also drops references earlier, so the GC can reclaim what the
+// buffers point at while they sit in the pool.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "flags sync.Pool.Put of a value with a Reset method when the same " +
+		"function never calls Reset on it",
+	Run: runPoolHygiene,
+}
+
+func runPoolHygiene(pass *Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+			return true
+		}
+		if !isSyncPool(info, sel.X) {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		resetName, ok := resetMethodOf(tv.Type)
+		if !ok {
+			return true
+		}
+		if callsMethodOn(info, fd.Body, arg, resetName) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"sync.Pool.Put of %s whose type has a %s method that is never called in this function; un-reset pooled values leak state across queries",
+			types.ExprString(arg), resetName)
+		return true
+	})
+}
+
+// isSyncPool reports whether e is a sync.Pool or *sync.Pool value.
+func isSyncPool(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// resetMethodOf returns the name of the Reset/reset method in the method set
+// of t (or its pointer type), if one exists.
+func resetMethodOf(t types.Type) (string, bool) {
+	for _, name := range []string{"Reset", "reset"} {
+		if hasMethod(t, name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		ms = types.NewMethodSet(types.NewPointer(t))
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsMethodOn reports whether body contains a call <recv>.<method>() whose
+// printed receiver expression equals the printed form of value (or of &value
+// / *value, so pointer-vs-value spellings still match).
+func callsMethodOn(info *types.Info, body *ast.BlockStmt, value ast.Expr, method string) bool {
+	want := types.ExprString(value)
+	if u, ok := value.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		want = types.ExprString(u.X)
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		if recv == want || recv == "&"+want || recv == "*"+want {
+			found = true
+		}
+		return true
+	})
+	return found
+}

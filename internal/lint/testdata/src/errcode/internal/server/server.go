@@ -1,0 +1,21 @@
+// Package server is an errcode fixture: its import path ends in
+// internal/server, so naked http.Error calls are banned here.
+package server
+
+import "net/http"
+
+// Bad writes a naked text/plain error: flagged.
+func Bad(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "structured internal/api error envelope"
+}
+
+// envelope is a stand-in for the structured error writer; its Error method
+// shares a name with http.Error but lives in this package.
+type envelope struct{}
+
+func (envelope) Error(w http.ResponseWriter, msg string, code int) {}
+
+// Good goes through the envelope writer: clean.
+func Good(w http.ResponseWriter) {
+	envelope{}.Error(w, "boom", http.StatusInternalServerError)
+}

@@ -1,0 +1,8 @@
+// Package other is outside internal/server, where http.Error stays legal.
+package other
+
+import "net/http"
+
+func Fine(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+}

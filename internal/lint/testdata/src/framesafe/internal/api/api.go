@@ -1,0 +1,82 @@
+// Package api is a framesafe fixture: its import path ends in internal/api,
+// so every function reachable from an exported Decode*/Read*/... entry is
+// held to the length-check-before-read, never-panic contract.
+package api
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+var errTruncated = errors.New("truncated")
+
+// DecodeUnchecked reads fixed-width data with no length evidence: flagged.
+func DecodeUnchecked(buf []byte) uint32 {
+	return binary.LittleEndian.Uint32(buf) // want "without a preceding length check"
+}
+
+// DecodeChecked guards the read with len: clean.
+func DecodeChecked(buf []byte) (uint32, error) {
+	if len(buf) < 4 {
+		return 0, errTruncated
+	}
+	return binary.LittleEndian.Uint32(buf), nil
+}
+
+// DecodePanics panics on corrupt input instead of returning an error: the
+// panic is flagged even though the read itself is guarded.
+func DecodePanics(buf []byte) uint32 {
+	if len(buf) < 4 {
+		panic("short frame") // want "panic reachable"
+	}
+	return binary.LittleEndian.Uint32(buf)
+}
+
+// head indexes without length evidence; it is only flagged because
+// DecodeViaHelper makes it reachable from an exported decode entry.
+func head(buf []byte) byte {
+	return buf[0] // want "slice index"
+}
+
+// DecodeViaHelper pulls head into the reachable set.
+func DecodeViaHelper(buf []byte) byte {
+	return head(buf)
+}
+
+// notReachable is identical to head but no entry point calls it: clean.
+func notReachable(buf []byte) byte {
+	return buf[1]
+}
+
+// DecodeArray reads from a fixed-size array, which is compile-time sized:
+// clean.
+func DecodeArray() uint32 {
+	var hdr [4]byte
+	return binary.LittleEndian.Uint32(hdr[:])
+}
+
+// DecodeSelfBounded indexes modulo the slice's own length — the evidence
+// lives inside the index expression itself, with no separate prior check:
+// clean.
+func DecodeSelfBounded(buf []byte, i int) byte {
+	return buf[i%len(buf)]
+}
+
+// DecodeSorted indexes inside a sort comparator, whose indices are in range
+// by contract: clean.
+func DecodeSorted(xs []int) bool {
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// DecodeDerived slices a checked buffer into a new variable; the derived
+// slice inherits the evidence: clean.
+func DecodeDerived(buf []byte) (uint32, error) {
+	if len(buf) < 8 {
+		return 0, errTruncated
+	}
+	body := buf[4:8]
+	return binary.LittleEndian.Uint32(body), nil
+}
+
+var _ = notReachable

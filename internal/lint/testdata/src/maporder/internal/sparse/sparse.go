@@ -1,0 +1,50 @@
+// Package sparse is a maporder fixture: its import path ends in
+// internal/sparse, so it sits inside the analyzer's answer-affecting set.
+package sparse
+
+import "sort"
+
+// Fold accumulates in map order with no hatch: flagged.
+func Fold(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts, with a justified hatch on the line above: clean.
+func Keys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	//lint:ordered collect-then-sort: keys are sorted on the next line
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SameLine carries the hatch on the statement line itself: clean.
+func SameLine(m map[int]bool) int {
+	n := 0
+	for range m { //lint:ordered pure count; order-free
+		n++
+	}
+	return n
+}
+
+// Hatchless carries a hatch with no justification: flagged.
+func Hatchless(m map[int]bool) {
+	//lint:ordered
+	for range m { // want "requires a justification"
+	}
+}
+
+// SliceRange ranges over a slice, not a map: clean.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

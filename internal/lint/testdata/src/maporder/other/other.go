@@ -1,0 +1,11 @@
+// Package other is outside the answer-affecting package set, so maporder
+// must ignore its map iteration entirely.
+package other
+
+func Fold(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

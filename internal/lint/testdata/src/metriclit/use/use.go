@@ -1,0 +1,18 @@
+// Package use exercises metriclit from a consumer package: the analyzer has
+// no package filter of its own and matches on the callee's import path.
+package use
+
+import "fastppv/internal/lint/testdata/src/metriclit/internal/telemetry"
+
+const familyName = "ppv_queries_total"
+
+// Register mixes constant and dynamic metric names and label keys.
+func Register(r *telemetry.Registry, dyn string) {
+	r.Counter(familyName, "named by a package const: clean")
+	r.Counter("ppv_hits"+"_total", "constant concatenation: clean")
+	r.Counter(dyn, "dynamic family name") // want "must be a compile-time string constant"
+	r.CounterVec("ppv_shard_total", "constant label keys: clean", "shard", "status")
+	r.CounterVec("ppv_shard_total", "dynamic label key", dyn) // want "label key"
+	_ = telemetry.L("shard", dyn)
+	_ = telemetry.L(dyn, "dynamic label key") // want "must be a compile-time string constant"
+}

@@ -1,0 +1,35 @@
+// Package poolhygiene is a fixture for the sync.Pool reset-hygiene analyzer.
+// The analyzer has no package filter, so any import path works.
+package poolhygiene
+
+import "sync"
+
+// Buf carries per-use state and a Reset method.
+type Buf struct{ data []byte }
+
+// Reset truncates the buffer in place.
+func (b *Buf) Reset() { b.data = b.data[:0] }
+
+// Plain has no Reset method at all.
+type Plain struct{ n int }
+
+var (
+	bufPool   sync.Pool
+	plainPool sync.Pool
+)
+
+// PutBad returns a resettable value without resetting it: flagged.
+func PutBad(b *Buf) {
+	bufPool.Put(b) // want "Reset method that is never called"
+}
+
+// PutGood resets before Put: clean.
+func PutGood(b *Buf) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// PutPlain pools a value with no Reset method: clean.
+func PutPlain(p *Plain) {
+	plainPool.Put(p)
+}

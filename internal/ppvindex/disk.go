@@ -415,6 +415,9 @@ var readBufPool = sync.Pool{New: func() any { return new(readBuf) }}
 // returns the payload offset and length. checkedHeader is the 8-byte header
 // already read from offset off.
 func (d *DiskIndex) recordBounds(h graph.NodeID, off uint64, header []byte) (int64, int, error) {
+	if len(header) < 8 {
+		return 0, 0, fmt.Errorf("%w: truncated record header for hub %d at offset %d", ErrBadIndexFormat, h, off)
+	}
 	storedHub := graph.NodeID(binary.LittleEndian.Uint32(header[0:]))
 	count := int(binary.LittleEndian.Uint32(header[4:]))
 	if storedHub != h {

@@ -1,0 +1,138 @@
+package ppvindex
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastppv/internal/graph"
+	"fastppv/internal/sparse"
+)
+
+// fuzzUpdateBinding is the (baseBytes, baseHubs) binding both the fuzz target
+// and the corpus generator open update logs with, so committed seeds replay
+// instead of being reset as foreign.
+const (
+	fuzzUpdateBaseBytes = 123
+	fuzzUpdateBaseHubs  = 7
+)
+
+// fuzzGraphBinding is the shared graph-log binding of target and seeds.
+var fuzzGraphBinding = GraphLogBinding{Nodes: 100, Edges: 50, Directed: true}
+
+// FuzzUpdateLogReplay opens arbitrary bytes as an FPL1 update log. The
+// contract: OpenUpdateLog either succeeds (truncating a torn tail, resetting
+// a foreign binding) or fails with an error wrapping ErrBadIndexFormat —
+// never a panic — and a file it accepted replays identically on reopen.
+func FuzzUpdateLogReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FPL1garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "update.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		replayed := 0
+		l, err := OpenUpdateLog(path, fuzzUpdateBaseBytes, fuzzUpdateBaseHubs, func(h graph.NodeID, ppv sparse.Vector) error {
+			replayed++
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrBadIndexFormat) {
+				t.Fatalf("OpenUpdateLog returned unstructured error %v", err)
+			}
+			return
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("closing an accepted update log failed: %v", err)
+		}
+		// The first open repaired the file (torn tail truncated, foreign
+		// binding reset); a reopen must be clean and replay the same records.
+		again := 0
+		l2, err := OpenUpdateLog(path, fuzzUpdateBaseBytes, fuzzUpdateBaseHubs, func(h graph.NodeID, ppv sparse.Vector) error {
+			again++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reopening a repaired update log failed: %v", err)
+		}
+		defer l2.Close()
+		if again != replayed {
+			t.Fatalf("reopen replayed %d records, first open replayed %d", again, replayed)
+		}
+	})
+}
+
+// FuzzGraphLogReplay is FuzzUpdateLogReplay for the FPG1 graph-mutation log.
+func FuzzGraphLogReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FPG1garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "graph.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		replayed := 0
+		l, err := OpenGraphLog(path, fuzzGraphBinding, func(m GraphMutation) error {
+			replayed++
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrBadIndexFormat) {
+				t.Fatalf("OpenGraphLog returned unstructured error %v", err)
+			}
+			return
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("closing an accepted graph log failed: %v", err)
+		}
+		again := 0
+		l2, err := OpenGraphLog(path, fuzzGraphBinding, func(m GraphMutation) error {
+			again++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reopening a repaired graph log failed: %v", err)
+		}
+		defer l2.Close()
+		if again != replayed {
+			t.Fatalf("reopen replayed %d records, first open replayed %d", again, replayed)
+		}
+	})
+}
+
+// FuzzDiskRecordDecode drives the hub-record payload decoder with arbitrary
+// bytes. Rejections must wrap ErrBadIndexFormat; an accepted payload must
+// survive a decode -> encode -> decode round trip with every score
+// bit-identical (encode canonicalizes entry order, so byte equality is only
+// guaranteed from the canonical form onward).
+func FuzzDiskRecordDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeRecord(7, sparse.Vector{3: 0.25, 9: 1e-12}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, v, err := decodeRecordPayload(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadIndexFormat) {
+				t.Fatalf("decodeRecordPayload returned unstructured error %v", err)
+			}
+			return
+		}
+		enc := encodeRecord(h, v)
+		h2, v2, err := decodeRecordPayload(enc)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded record failed: %v", err)
+		}
+		if h2 != h || len(v2) != len(v) {
+			t.Fatalf("round trip changed identity: hub %d/%d, %d/%d entries", h2, h, len(v2), len(v))
+		}
+		for id, s := range v {
+			got, ok := v2[id]
+			if !ok || math.Float64bits(got) != math.Float64bits(s) {
+				t.Fatalf("node %d: score %x round-tripped to %x (present=%v)",
+					id, math.Float64bits(s), math.Float64bits(got), ok)
+			}
+		}
+	})
+}

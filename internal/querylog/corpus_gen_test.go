@@ -1,0 +1,49 @@
+package querylog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastppv/internal/corpus"
+)
+
+// TestRegenQueryLogCorpus writes the committed seed corpus of
+// FuzzQueryLogReplay with the real log writer. Gated behind
+// PPV_REGEN_CORPUS=1.
+func TestRegenQueryLogCorpus(t *testing.T) {
+	corpus.SkipUnlessRegen(t)
+	path := filepath.Join(t.TempDir(), "query.log")
+	l, err := Open(path, Options{FlushInterval: -1}, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []Record{
+		{Source: 5, Top: 10, Eta: 2, Mode: ModeEngine, Iterations: 3, Epoch: 1, LatencyUS: 1200, Bound: 0.01},
+		{Source: 9, Top: 20, Eta: 1, Mode: ModeRouter, Flags: FlagDegraded | FlagSlow, Iterations: 5,
+			Epoch: 2, LatencyUS: 95000, Bound: 0.2, TraceID: "trace-xyz",
+			Legs: []LegSummary{{Shard: 0, Legs: 5, DurationUS: 40000}, {Shard: 1, Legs: 4, DurationUS: 52000}}},
+		{Source: 5, Top: 10, Eta: 2, Mode: ModeEngine, Flags: FlagCacheHit, Iterations: 3, Epoch: 2, LatencyUS: 40, Bound: 0.01},
+	}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badcrc := append([]byte(nil), valid...)
+	badcrc[len(badcrc)-1] ^= 0xFF
+	corpus.Write(t, "FuzzQueryLogReplay",
+		valid,
+		valid[:len(valid)-7], // torn tail mid-frame
+		badcrc,
+		valid[:headerBytes], // bare header, zero records
+		[]byte("NOPE"),      // foreign magic
+	)
+}

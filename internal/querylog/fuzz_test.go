@@ -1,0 +1,49 @@
+package querylog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzQueryLogReplay opens arbitrary bytes as an FPQ1 query log. Open either
+// succeeds (truncating a torn tail) or fails with ErrBadFormat — never a
+// panic — and an accepted file replays identically on reopen.
+func FuzzQueryLogReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FPQ1garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "query.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{FlushInterval: -1}
+		replayed := 0
+		l, err := Open(path, opts, func(r Record) error {
+			replayed++
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("Open returned unstructured error %v", err)
+			}
+			return
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("closing an accepted query log failed: %v", err)
+		}
+		again := 0
+		l2, err := Open(path, opts, func(r Record) error {
+			again++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reopening a repaired query log failed: %v", err)
+		}
+		defer l2.Close()
+		if again != replayed {
+			t.Fatalf("reopen replayed %d records, first open replayed %d", again, replayed)
+		}
+	})
+}

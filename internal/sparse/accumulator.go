@@ -86,6 +86,7 @@ func (a *Accumulator) Get(id graph.NodeID) float64 {
 // SetVector replaces the accumulator's contents with the entries of v.
 func (a *Accumulator) SetVector(v Vector) {
 	a.entries = a.entries[:0]
+	//lint:ordered collect-then-sort: entries are sorted by node id on the next line
 	for id, s := range v {
 		a.entries = append(a.entries, Entry{Node: id, Score: s})
 	}
@@ -221,6 +222,7 @@ func (a *Accumulator) StageEncodedExtension(data []byte, scale float64, owner gr
 // node at most once, so the cross-hub per-node contribution order is fixed by
 // the staging order of whole hubs, not by the order within one record.
 func (a *Accumulator) StageVectorExtension(v Vector, scale float64, owner graph.NodeID, alpha float64) {
+	//lint:ordered each node occurs once per staged record; Combine stable-sorts by node id, so duplicates fold in record order, not map order
 	for id, s := range v {
 		if id == owner {
 			s -= alpha
@@ -287,6 +289,7 @@ func (a *Accumulator) AccumulateVectorExtension(v Vector, scale float64, owner g
 		return
 	}
 	a.tmp = a.tmp[:0]
+	//lint:ordered collect-then-sort: tmp is sorted by node id before merging
 	for id, s := range v {
 		if id == owner {
 			s -= alpha

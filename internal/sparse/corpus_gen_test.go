@@ -1,0 +1,30 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"fastppv/internal/corpus"
+	"fastppv/internal/graph"
+)
+
+// TestRegenEncodedCorpus writes the committed seed corpus of
+// FuzzEncodedRoundTrip. Gated behind PPV_REGEN_CORPUS=1.
+func TestRegenEncodedCorpus(t *testing.T) {
+	corpus.SkipUnlessRegen(t)
+	entries := func(pairs ...float64) []byte {
+		buf := make([]byte, (len(pairs)/2)*EncodedEntrySize)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			PutEncodedEntry(buf[(i/2)*EncodedEntrySize:],
+				graph.NodeID(pairs[i]), pairs[i+1])
+		}
+		return buf
+	}
+	corpus.Write(t, "FuzzEncodedRoundTrip",
+		entries(1, 0.5, 2, 0.25, 3, 0.125),
+		entries(7, -0.0, 7, 0.0), // duplicate id, signed zero
+		entries(0, math.Inf(1), 4294967295, math.SmallestNonzeroFloat64),
+		entries(5, 1e300, 6, 2.0)[:EncodedEntrySize+3], // ragged tail
+		nil,
+	)
+}

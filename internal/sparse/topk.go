@@ -24,6 +24,7 @@ func (v Vector) TopK(k int) []Entry {
 	}
 	hp := topkHeapPool.Get().(*entryMinHeap)
 	h := (*hp)[:0]
+	//lint:ordered the (score desc, node id asc) total order makes the selected k-set and its final ordering independent of visit order
 	for id, s := range v {
 		e := Entry{Node: id, Score: s}
 		if len(h) < k {

@@ -52,6 +52,7 @@ func (v Vector) Dense(n int) []float64 {
 func (v Vector) DenseChecked(n int) ([]float64, int) {
 	out := make([]float64, n)
 	dropped := 0
+	//lint:ordered per-node writes to distinct dense slots; the dropped count is order-free
 	for id, s := range v {
 		if int(id) < n {
 			out[id] = s
@@ -65,6 +66,7 @@ func (v Vector) DenseChecked(n int) ([]float64, int) {
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
 	out := New(len(v))
+	//lint:ordered per-node copy into a fresh map; no fold across nodes
 	for id, s := range v {
 		out[id] = s
 	}
@@ -93,6 +95,7 @@ func (v Vector) Add(id graph.NodeID, score float64) {
 
 // AddVector accumulates other into v entry-wise.
 func (v Vector) AddVector(other Vector) {
+	//lint:ordered each node occurs once in other, so every v[id] sees exactly one add regardless of order
 	for id, s := range other {
 		v[id] += s
 	}
@@ -105,6 +108,7 @@ func (v Vector) AddScaled(other Vector, scale float64) {
 	if scale == 0 {
 		return
 	}
+	//lint:ordered each node occurs once in other, so every v[id] sees exactly one scaled add regardless of order
 	for id, s := range other {
 		v[id] += scale * s
 	}
@@ -112,6 +116,7 @@ func (v Vector) AddScaled(other Vector, scale float64) {
 
 // Scale multiplies every entry by factor.
 func (v Vector) Scale(factor float64) {
+	//lint:ordered per-node multiply; nodes are independent
 	for id := range v {
 		v[id] *= factor
 	}
@@ -122,6 +127,7 @@ func (v Vector) Scale(factor float64) {
 // 1 - Sum(estimate) as the exact L1 error of the estimate.
 func (v Vector) Sum() float64 {
 	var total float64
+	//lint:ordered diagnostic-only FP fold; answer paths (error bounds in responses) use SumOrdered
 	for _, s := range v {
 		total += s
 	}
@@ -134,6 +140,7 @@ func (v Vector) Sum() float64 {
 // clients is computed with it, making query responses byte-reproducible.
 func (v Vector) SumOrdered() float64 {
 	ids := make([]graph.NodeID, 0, len(v))
+	//lint:ordered collect-then-sort: ids are sorted before the ordered fold below
 	for id := range v {
 		ids = append(ids, id)
 	}
@@ -148,9 +155,11 @@ func (v Vector) SumOrdered() float64 {
 // L1Distance returns the L1 distance between v and other.
 func (v Vector) L1Distance(other Vector) float64 {
 	var total float64
+	//lint:ordered diagnostic metric (accuracy evaluation); never part of a served answer
 	for id, s := range v {
 		total += math.Abs(s - other[id])
 	}
+	//lint:ordered diagnostic metric (accuracy evaluation); never part of a served answer
 	for id, s := range other {
 		if _, ok := v[id]; !ok {
 			total += math.Abs(s)
@@ -164,6 +173,7 @@ func (v Vector) L1Distance(other Vector) float64 {
 // index size (Sect. 6, Parameters).
 func (v Vector) Clip(threshold float64) int {
 	removed := 0
+	//lint:ordered per-node threshold test with independent deletes; the removed count is order-free
 	for id, s := range v {
 		if s < threshold {
 			delete(v, id)
@@ -191,6 +201,7 @@ type Entry struct {
 // ascending node id so that rankings are deterministic.
 func (v Vector) Entries() []Entry {
 	out := make([]Entry, 0, len(v))
+	//lint:ordered collect-then-sort: entries are sorted by (score desc, node id asc) below
 	for id, s := range v {
 		out = append(out, Entry{Node: id, Score: s})
 	}

@@ -1,4 +1,4 @@
-#!/usr/bin/env bash
+#!/bin/sh
 # bench.sh runs the standing serving benchmark and writes the BENCH_*.json
 # perf-trajectory artifact for the current tree.
 #
@@ -11,7 +11,11 @@
 # artifacts (and gate on warm-read/qps regressions) with:
 #
 #   go run ./scripts BENCH_8.json BENCH_9.json
-set -euo pipefail
+#
+# POSIX sh on purpose: CI images and dev boxes disagree on where (and
+# whether) bash lives, and nothing here needs arrays or pipefail — there are
+# no pipelines, so set -eu already fails the script on any command failure.
+set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_9.json}"

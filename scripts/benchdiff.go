@@ -26,8 +26,10 @@ import (
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.10,
 		"maximum tolerated relative regression of the gated metrics (0.10 = 10%)")
+	flag.BoolVar(&allowAdded, "allow-added", false,
+		"tolerate gated metrics present only in NEW (additive schema growth along a perf trajectory)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-max-regress frac] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-max-regress frac] [-allow-added] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,8 +53,9 @@ func main() {
 	// Gated metrics: lower warm-read cost is better, higher qps is better.
 	failures += row("warm_read_ns", oldRep.WarmReadNS, newRep.WarmReadNS, lowerIsBetter, *maxRegress)
 	failures += row("qps", oldRep.QPS, newRep.QPS, higherIsBetter, *maxRegress)
-	// Cluster-pass metrics (additive in PR 8) gate only when both artifacts
-	// carry them — row() shows a zero side as n/a and never fails it. The
+	// Cluster-pass metrics (additive in PR 8) compare when both artifacts
+	// carry them; a gated metric present in only one artifact fails the run
+	// (see row) unless -allow-added covers the NEW-only additive case. The
 	// cluster/single ratio is gated instead of the raw cluster p50: the ratio
 	// normalizes away host speed, so it tracks transport efficiency alone.
 	failures += row("cluster_vs_single", oldRep.ClusterVsSingleRatio, newRep.ClusterVsSingleRatio, lowerIsBetter, *maxRegress)
@@ -73,7 +76,7 @@ func main() {
 	row("pool_hit_rate", oldRep.PoolHitRate, newRep.PoolHitRate, higherIsBetter, 0)
 
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) regressed more than %.0f%%\n",
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gated metric(s) failed: regressed more than %.0f%% or present in only one artifact\n",
 			failures, *maxRegress*100)
 		os.Exit(1)
 	}
@@ -87,11 +90,33 @@ const (
 	higherIsBetter
 )
 
+// allowAdded tolerates gated metrics that only the NEW artifact carries —
+// the legitimate shape of a perf trajectory whose schema grew a field.
+var allowAdded bool
+
 // row prints one metric comparison and reports 1 when it is gated
-// (maxRegress > 0) and regressed past the tolerance. A metric absent from
-// either report (zero — e.g. an additive field an older artifact predates)
-// is shown but never gates.
+// (maxRegress > 0) and either regressed past the tolerance or is present in
+// only one artifact. A one-sided gated metric is an error, not an n/a: a
+// field that disappeared from NEW means the gate silently stopped measuring
+// it, and a field absent from OLD means the artifacts are not comparable
+// (unless -allow-added accepts it as additive schema growth). Informational
+// metrics (maxRegress == 0) show a zero side as n/a and never gate.
 func row(name string, oldV, newV float64, dir direction, maxRegress float64) int {
+	if maxRegress > 0 && (oldV == 0) != (newV == 0) {
+		if oldV == 0 && allowAdded {
+			fmt.Printf("%-18s %14.3f %14.3f %9s\n", name, oldV, newV, "added")
+			return 0
+		}
+		fmt.Printf("%-18s %14.3f %14.3f %9s%s\n", name, oldV, newV, "n/a", "  << MISSING")
+		if newV == 0 {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: gated metric %s disappeared from the new artifact; the benchmark stopped measuring it\n", name)
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: gated metric %s is present only in the new artifact; pass -allow-added if the field is additive\n", name)
+		}
+		return 1
+	}
 	delta := "n/a"
 	regressed := false
 	if oldV != 0 && newV != 0 {
